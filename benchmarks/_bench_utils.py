@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark modules.
+
+``run_once`` executes the experiment exactly once under pytest-benchmark (the
+experiments train models, so statistical repetition is pointless), and
+``record_report`` stores the rendered table/series so the conftest hook can
+print every reproduced table at the end of the run — visible even without
+``pytest -s``.
+"""
+
+from typing import List
+
+_REPORTS: List[str] = []
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_report(title: str, text: str) -> None:
+    """Register a rendered report for the end-of-run summary."""
+    _REPORTS.append(f"\n===== {title} =====\n{text}")
+
+
+def recorded_reports() -> List[str]:
+    return list(_REPORTS)

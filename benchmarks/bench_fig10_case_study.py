@@ -1,0 +1,19 @@
+"""Benchmark / reproduction of Fig. 10 — qualitative case study."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_case_study(benchmark, bench_scale):
+    table = run_once(
+        benchmark, lambda: run_experiment("fig10", scale=bench_scale, num_cases=3, top_k=10)
+    )
+    record_report("Fig. 10 — case study", table.to_text())
+    assert len(table) == 3
+    # Paper shape: the recommended set overlaps the ground truth substantially;
+    # require at least one hit across the sampled cases even at smoke scale.
+    overlaps = table.column("#overlap")
+    assert sum(overlaps) >= 1
+    recalls = table.column("recall")
+    assert all(0.0 <= value <= 1.0 for value in recalls)

@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Fig. 5 — herb frequency distribution."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_herb_frequency(benchmark, bench_scale):
+    series = run_once(benchmark, lambda: run_experiment("fig5", scale=bench_scale))
+    record_report("Fig. 5 — herb frequency distribution", series.to_text())
+    frequencies = series.metric("frequency")
+    # The curve must be non-increasing (sorted) and heavily skewed.
+    assert all(a >= b for a, b in zip(frequencies, frequencies[1:]))
+    assert frequencies[0] > frequencies[-1]

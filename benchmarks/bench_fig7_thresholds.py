@@ -1,0 +1,15 @@
+"""Benchmark / reproduction of Fig. 7 — herb-herb threshold sensitivity."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_thresholds(benchmark, bench_scale):
+    series = run_once(benchmark, lambda: run_experiment("fig7", scale=bench_scale))
+    record_report("Fig. 7 — synergy threshold sweep", series.to_table().to_text())
+    assert len(series) >= 3
+    p5 = series.metric("p@5")
+    # Paper shape: threshold choice matters but within a narrow band (no collapse).
+    assert max(p5) - min(p5) < 0.2
+    assert all(value > 0 for value in p5)

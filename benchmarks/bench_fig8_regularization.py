@@ -1,0 +1,18 @@
+"""Benchmark / reproduction of Fig. 8 — L2 regularisation sensitivity."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_regularization(benchmark, bench_scale):
+    series = run_once(benchmark, lambda: run_experiment("fig8", scale=bench_scale))
+    record_report("Fig. 8 — L2 regularisation sweep", series.to_table().to_text())
+    lambdas = series.x_values
+    p5 = series.metric("p@5")
+    assert len(p5) == len(lambdas)
+    # Paper shape: extremely strong regularisation underfits and hurts relative
+    # to the best setting.
+    best = max(p5)
+    strongest_lambda_index = lambdas.index(max(lambdas))
+    assert p5[strongest_lambda_index] <= best + 1e-9

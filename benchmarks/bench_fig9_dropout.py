@@ -1,0 +1,15 @@
+"""Benchmark / reproduction of Fig. 9 — message dropout sensitivity."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_dropout(benchmark, bench_scale):
+    series = run_once(benchmark, lambda: run_experiment("fig9", scale=bench_scale))
+    record_report("Fig. 9 — message dropout sweep", series.to_table().to_text())
+    ratios = series.x_values
+    p5 = series.metric("p@5")
+    assert ratios == sorted(ratios)
+    # Paper shape: no dropout is at least as good as the most aggressive dropout.
+    assert p5[0] >= p5[-1] - 0.02

@@ -1,0 +1,16 @@
+"""Benchmark / reproduction of Table II — dataset statistics."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2_statistics(benchmark, bench_scale):
+    table = run_once(benchmark, lambda: run_experiment("table2", scale=bench_scale))
+    record_report("Table II — dataset statistics", table.to_text())
+    all_row = table.row_by("dataset", "All")
+    train_row = table.row_by("dataset", "Train")
+    test_row = table.row_by("dataset", "Test")
+    assert train_row["#prescriptions"] + test_row["#prescriptions"] == all_row["#prescriptions"]
+    # The paper's split is ~87/13; both profiles keep the test side the minority.
+    assert test_row["#prescriptions"] < train_row["#prescriptions"]

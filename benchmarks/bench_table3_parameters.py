@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Table III — optimal hyper-parameters."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+from repro.experiments.table3_parameters import PAPER_REFERENCE
+
+
+def test_table3_parameters(benchmark, bench_scale):
+    table = run_once(benchmark, lambda: run_experiment("table3", scale=bench_scale))
+    record_report("Table III — optimal hyper-parameters", table.to_text())
+    assert len(table) == len(PAPER_REFERENCE)
+    models = set(table.column("model"))
+    assert models == set(PAPER_REFERENCE)

@@ -1,0 +1,24 @@
+"""Benchmark / reproduction of Table IV — overall performance comparison.
+
+This is the paper's headline result: SMGCN beats every baseline.  The check
+enforced here is the *shape* (SMGCN on top, ahead of the strongest GNN
+baselines), not the absolute values.
+"""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table4_overall(benchmark, bench_scale):
+    table = run_once(benchmark, lambda: run_experiment("table4", scale=bench_scale))
+    record_report("Table IV — overall performance comparison", table.to_text())
+    smgcn = table.row_by("model", "SMGCN")
+    for baseline in ("HC-KGETM", "GC-MC", "PinSage", "NGCF"):
+        row = table.row_by("model", baseline)
+        assert smgcn["p@5"] >= row["p@5"], f"SMGCN should beat {baseline} on p@5"
+        assert smgcn["ndcg@5"] >= row["ndcg@5"], f"SMGCN should beat {baseline} on ndcg@5"
+    # HeteGCN is the strongest baseline in the paper; SMGCN should still be at
+    # least on par with it.
+    hetegcn = table.row_by("model", "HeteGCN")
+    assert smgcn["p@5"] >= hetegcn["p@5"] - 0.01

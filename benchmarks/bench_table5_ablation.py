@@ -1,0 +1,19 @@
+"""Benchmark / reproduction of Table V — ablation of SMGCN's components."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table5_ablation(benchmark, bench_scale):
+    table = run_once(benchmark, lambda: run_experiment("table5", scale=bench_scale))
+    record_report("Table V — ablation analysis", table.to_text())
+    smgcn = table.row_by("submodel", "SMGCN")
+    bipar = table.row_by("submodel", "Bipar-GCN")
+    pinsage = table.row_by("submodel", "PinSage")
+    # The full model should beat the bare Bipar-GCN and the shared-weight PinSage.
+    assert smgcn["p@5"] >= bipar["p@5"] - 0.005
+    assert smgcn["p@5"] >= pinsage["p@5"] - 0.005
+    # Adding SI on top of Bipar-GCN should not hurt much (paper: it helps).
+    with_si = table.row_by("submodel", "Bipar-GCN w/ SI")
+    assert with_si["p@5"] >= bipar["p@5"] - 0.02

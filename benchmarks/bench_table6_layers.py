@@ -1,0 +1,15 @@
+"""Benchmark / reproduction of Table VI — effect of the GCN depth."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table6_layers(benchmark, bench_scale):
+    table = run_once(benchmark, lambda: run_experiment("table6", scale=bench_scale))
+    record_report("Table VI — effect of layer numbers", table.to_text())
+    depths = table.column("depth")
+    assert depths == [1, 2, 3]
+    p5 = table.column("p@5")
+    # Paper shape: performance is not very sensitive to depth (spread is small).
+    assert max(p5) - min(p5) < 0.15

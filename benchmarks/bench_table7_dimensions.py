@@ -1,0 +1,15 @@
+"""Benchmark / reproduction of Table VII — effect of the final embedding dimension."""
+
+from _bench_utils import record_report, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table7_dimensions(benchmark, bench_scale):
+    table = run_once(benchmark, lambda: run_experiment("table7", scale=bench_scale))
+    record_report("Table VII — effect of the last layer dimension", table.to_text())
+    dimensions = table.column("dimension")
+    assert dimensions == sorted(dimensions)
+    p5 = table.column("p@5")
+    # Paper shape: a too-small dimension underperforms the best dimension.
+    assert max(p5) >= p5[0]

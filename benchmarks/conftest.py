@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures and prints the
+resulting rows, so a ``pytest benchmarks/ --benchmark-only`` run doubles as a
+full reproduction pass.  The scale defaults to ``smoke`` so the harness stays
+fast; set ``REPRO_BENCH_SCALE=default`` to rerun the full experiment corpus
+(the numbers recorded in EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from _bench_utils import recorded_reports
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The experiment scale benchmarks run at (``smoke`` unless overridden)."""
+    return BENCH_SCALE
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every reproduced table/figure after the benchmark statistics."""
+    reports = recorded_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", f"reproduced tables/figures (scale={BENCH_SCALE})")
+    for report in reports:
+        terminalreporter.write_line(report)

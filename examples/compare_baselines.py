@@ -1,0 +1,50 @@
+"""Compare SMGCN against every baseline from the paper on one corpus.
+
+Reproduces the spirit of Table IV at a configurable scale::
+
+    python examples/compare_baselines.py            # default scale (a few minutes)
+    python examples/compare_baselines.py smoke      # miniature corpus (seconds)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evaluation import Evaluator
+from repro.experiments import (
+    ALL_MODEL_NAMES,
+    experiment_evaluator,
+    experiment_split,
+    train_and_evaluate,
+)
+from repro.experiments.reporting import Table
+from repro.models import CooccurrenceRecommender, PopularityRecommender
+
+
+def main(scale: str = "default") -> None:
+    train, test = experiment_split(scale)
+    evaluator = experiment_evaluator(scale)
+    metric_keys = list(evaluator.metric_keys())
+    table = Table(
+        title=f"Baseline comparison ({scale} corpus, {len(train)} train / {len(test)} test)",
+        columns=["model"] + metric_keys,
+    )
+
+    # Non-learning sanity floors (not part of the paper's table).
+    popularity = PopularityRecommender(train.num_herbs).fit(train)
+    table.add_row(model="Popularity", **evaluator.evaluate(popularity).metrics)
+    cooccurrence = CooccurrenceRecommender(train.num_symptoms, train.num_herbs).fit(train)
+    table.add_row(model="Co-occurrence", **evaluator.evaluate(cooccurrence).metrics)
+
+    # The paper's models.
+    for name in ALL_MODEL_NAMES:
+        print(f"training {name} ...", flush=True)
+        result = train_and_evaluate(name, scale=scale, evaluator=evaluator)
+        table.add_row(model=name, **{key: result.metrics[key] for key in metric_keys})
+
+    print()
+    print(table.to_text())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "default")

@@ -1,0 +1,42 @@
+"""Hyper-parameter sensitivity sweeps (paper Tables VI-VII, Figs. 7-9).
+
+Runs the depth, dimension, synergy-threshold, regularisation and dropout
+sweeps and prints one table per sweep::
+
+    python examples/hyperparameter_sweep.py [scale] [sweep ...]
+
+where each ``sweep`` is one of ``depth``, ``dimension``, ``threshold``,
+``lambda``, ``dropout`` (default: all of them).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_experiment
+
+SWEEPS = {
+    "depth": "table6",
+    "dimension": "table7",
+    "threshold": "fig7",
+    "lambda": "fig8",
+    "dropout": "fig9",
+}
+
+
+def main(scale: str = "default", sweeps=None) -> None:
+    sweeps = list(sweeps) if sweeps else list(SWEEPS)
+    unknown = set(sweeps) - set(SWEEPS)
+    if unknown:
+        raise SystemExit(f"unknown sweeps {sorted(unknown)}; choose from {sorted(SWEEPS)}")
+    for sweep in sweeps:
+        experiment_id = SWEEPS[sweep]
+        print(f"running {sweep} sweep ({experiment_id}) ...", flush=True)
+        result = run_experiment(experiment_id, scale=scale)
+        print(result.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    main(scale, sys.argv[2:])

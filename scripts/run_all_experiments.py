@@ -1,0 +1,35 @@
+"""Run every experiment at a given scale and write the reports to a text file.
+
+Usage::
+
+    python scripts/run_all_experiments.py [scale] [output_path]
+
+This is the script used to produce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    output_path = sys.argv[2] if len(sys.argv) > 2 else f"experiment_results_{scale}.txt"
+    sections = []
+    for experiment_id, spec in EXPERIMENTS.items():
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale=scale)
+        elapsed = time.perf_counter() - start
+        text = result.to_text() if hasattr(result, "to_text") else str(result)
+        sections.append(f"[{experiment_id}] {spec.title} ({elapsed:.1f}s)\n{text}\n")
+        print(f"finished {experiment_id} in {elapsed:.1f}s", flush=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {output_path}")
+
+
+if __name__ == "__main__":
+    main()

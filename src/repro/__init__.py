@@ -1,0 +1,22 @@
+"""repro — reproduction of "Syndrome-aware Herb Recommendation with Multi-Graph
+Convolution Network" (SMGCN, ICDE 2020).
+
+Sub-packages
+------------
+``repro.nn``
+    NumPy autograd / neural-network substrate (no external DL framework).
+``repro.data``
+    Prescription corpus handling and the synthetic TCM corpus generator.
+``repro.graphs``
+    Symptom-herb bipartite graph and symptom-symptom / herb-herb synergy graphs.
+``repro.models``
+    SMGCN and every baseline evaluated in the paper.
+``repro.training`` / ``repro.evaluation``
+    Training loop, metrics (precision/recall/NDCG@K) and case-study tooling.
+``repro.experiments``
+    One runner per table/figure in the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

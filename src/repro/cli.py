@@ -1,0 +1,83 @@
+"""Command-line interface for the reproduction.
+
+Examples::
+
+    python -m repro list
+    python -m repro run table4 --scale smoke
+    python -m repro run fig7 --scale default --output fig7.txt
+    python -m repro all --scale smoke
+
+``list`` prints the registered experiments, ``run`` executes one experiment and
+prints (or writes) its table/series, and ``all`` runs the full suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the SMGCN paper (ICDE 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
+    run_parser.add_argument("--output", default=None, help="write the report to this file")
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
+    all_parser.add_argument("--output", default=None, help="write the combined report to this file")
+    return parser
+
+
+def _render(result) -> str:
+    return result.to_text() if hasattr(result, "to_text") else str(result)
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text)
+    else:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, spec in EXPERIMENTS.items():
+            print(f"{experiment_id:<8} {spec.title} [{spec.paper_section}] — {spec.expected_shape}")
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment, scale=args.scale)
+        _emit(_render(result), args.output)
+        return 0
+    if args.command == "all":
+        sections = []
+        for experiment_id, spec in EXPERIMENTS.items():
+            start = time.perf_counter()
+            result = run_experiment(experiment_id, scale=args.scale)
+            elapsed = time.perf_counter() - start
+            print(f"finished {experiment_id} in {elapsed:.1f}s", file=sys.stderr)
+            sections.append(f"[{experiment_id}] {spec.title}\n{_render(result)}")
+        _emit("\n\n".join(sections), args.output)
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""A TCM knowledge graph substrate for the HC-KGETM baseline.
+
+HC-KGETM (Wang et al., DASFAA 2019) enriches a prescription topic model with
+TransE embeddings learned from a TCM knowledge graph.  The original knowledge
+graph is not available offline, so we build an equivalent graph either from
+the latent structure of the synthetic corpus (preferred — it plays the role of
+curated domain knowledge) or directly from corpus co-occurrence statistics.
+
+Entities are symptoms, herbs and syndromes mapped into one contiguous id
+space; relations are:
+
+* ``manifests``       (symptom  -> syndrome)
+* ``treats``          (herb     -> syndrome)
+* ``co_symptom``      (symptom  -> symptom), frequent co-occurrence
+* ``compatible_with`` (herb     -> herb), frequent co-occurrence
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .prescriptions import PrescriptionDataset
+from .synthetic import SyntheticCorpus
+
+__all__ = ["Triple", "KnowledgeGraph", "build_kg_from_latent", "build_kg_from_corpus"]
+
+RELATIONS = ("manifests", "treats", "co_symptom", "compatible_with")
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One ``(head, relation, tail)`` fact, all ids in knowledge-graph space."""
+
+    head: int
+    relation: int
+    tail: int
+
+
+class KnowledgeGraph:
+    """Entity/relation id spaces plus the triple list, with TCM-aware helpers."""
+
+    def __init__(
+        self,
+        num_symptoms: int,
+        num_herbs: int,
+        num_syndromes: int,
+        triples: List[Triple],
+    ) -> None:
+        if num_symptoms < 0 or num_herbs < 0 or num_syndromes < 0:
+            raise ValueError("entity counts must be non-negative")
+        self.num_symptoms = num_symptoms
+        self.num_herbs = num_herbs
+        self.num_syndromes = num_syndromes
+        self.triples = list(triples)
+        self.relations = list(RELATIONS)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Id space layout: [symptoms | herbs | syndromes]
+    # ------------------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        return self.num_symptoms + self.num_herbs + self.num_syndromes
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    def symptom_entity(self, symptom_id: int) -> int:
+        if not 0 <= symptom_id < self.num_symptoms:
+            raise ValueError(f"symptom id {symptom_id} out of range")
+        return symptom_id
+
+    def herb_entity(self, herb_id: int) -> int:
+        if not 0 <= herb_id < self.num_herbs:
+            raise ValueError(f"herb id {herb_id} out of range")
+        return self.num_symptoms + herb_id
+
+    def syndrome_entity(self, syndrome_id: int) -> int:
+        if not 0 <= syndrome_id < self.num_syndromes:
+            raise ValueError(f"syndrome id {syndrome_id} out of range")
+        return self.num_symptoms + self.num_herbs + syndrome_id
+
+    def relation_id(self, name: str) -> int:
+        return self.relations.index(name)
+
+    def _validate(self) -> None:
+        for triple in self.triples:
+            if not 0 <= triple.head < self.num_entities:
+                raise ValueError(f"triple head {triple.head} out of range")
+            if not 0 <= triple.tail < self.num_entities:
+                raise ValueError(f"triple tail {triple.tail} out of range")
+            if not 0 <= triple.relation < self.num_relations:
+                raise ValueError(f"triple relation {triple.relation} out of range")
+
+    def triple_array(self) -> np.ndarray:
+        """Triples as an ``(n, 3)`` integer array for vectorised TransE training."""
+        if not self.triples:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.array([[t.head, t.relation, t.tail] for t in self.triples], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"KnowledgeGraph(entities={self.num_entities}, relations={self.num_relations}, "
+            f"triples={len(self.triples)})"
+        )
+
+
+def build_kg_from_latent(corpus: SyntheticCorpus) -> KnowledgeGraph:
+    """Knowledge graph derived from the synthetic corpus' latent syndromes.
+
+    This plays the role of the curated TCM knowledge graph HC-KGETM relies on:
+    it links symptoms and herbs through the syndromes that generated them.
+    """
+    dataset = corpus.dataset
+    num_syndromes = corpus.num_syndromes
+    kg = KnowledgeGraph(dataset.num_symptoms, dataset.num_herbs, num_syndromes, triples=[])
+    manifests = kg.relation_id("manifests")
+    treats = kg.relation_id("treats")
+    triples: List[Triple] = []
+    for syndrome, symptoms in corpus.syndrome_symptoms.items():
+        for symptom in symptoms:
+            triples.append(Triple(kg.symptom_entity(symptom), manifests, kg.syndrome_entity(syndrome)))
+    for syndrome, herbs in corpus.syndrome_herbs.items():
+        for herb in herbs:
+            triples.append(Triple(kg.herb_entity(herb), treats, kg.syndrome_entity(syndrome)))
+    return KnowledgeGraph(dataset.num_symptoms, dataset.num_herbs, num_syndromes, triples)
+
+
+def build_kg_from_corpus(
+    dataset: PrescriptionDataset,
+    symptom_threshold: int = 5,
+    herb_threshold: int = 10,
+    max_pairs_per_prescription: Optional[int] = None,
+) -> KnowledgeGraph:
+    """Knowledge graph built from co-occurrence statistics of a real corpus.
+
+    Used when no latent structure is available (e.g. the user supplies the
+    original TCM dataset file).  Symptom pairs co-occurring more than
+    ``symptom_threshold`` times become ``co_symptom`` triples and herb pairs
+    above ``herb_threshold`` become ``compatible_with`` triples; there are no
+    syndrome entities in this variant.
+    """
+    if symptom_threshold < 0 or herb_threshold < 0:
+        raise ValueError("thresholds must be non-negative")
+    symptom_counts: Dict[Tuple[int, int], int] = {}
+    herb_counts: Dict[Tuple[int, int], int] = {}
+    for prescription in dataset:
+        symptoms = prescription.symptoms
+        herbs = prescription.herbs
+        if max_pairs_per_prescription is not None:
+            symptoms = symptoms[:max_pairs_per_prescription]
+            herbs = herbs[:max_pairs_per_prescription]
+        for a, b in combinations(symptoms, 2):
+            symptom_counts[(a, b)] = symptom_counts.get((a, b), 0) + 1
+        for a, b in combinations(herbs, 2):
+            herb_counts[(a, b)] = herb_counts.get((a, b), 0) + 1
+
+    kg = KnowledgeGraph(dataset.num_symptoms, dataset.num_herbs, 0, triples=[])
+    co_symptom = kg.relation_id("co_symptom")
+    compatible = kg.relation_id("compatible_with")
+    triples: List[Triple] = []
+    for (a, b), count in symptom_counts.items():
+        if count > symptom_threshold:
+            triples.append(Triple(kg.symptom_entity(a), co_symptom, kg.symptom_entity(b)))
+    for (a, b), count in herb_counts.items():
+        if count > herb_threshold:
+            triples.append(Triple(kg.herb_entity(a), compatible, kg.herb_entity(b)))
+    return KnowledgeGraph(dataset.num_symptoms, dataset.num_herbs, 0, triples)

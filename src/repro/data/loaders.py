@@ -1,0 +1,126 @@
+"""Corpus serialisation and mini-batch iteration.
+
+The on-disk format mirrors the processed TCM dataset used by the paper: one
+prescription per line, symptoms and herbs as whitespace-separated tokens
+split by a tab, e.g. ``night_sweat pale_tongue\tginseng tuckahoe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .prescriptions import Prescription, PrescriptionDataset
+from .vocab import Vocabulary
+
+__all__ = ["save_corpus", "load_corpus", "Batch", "batch_iterator"]
+
+
+def save_corpus(dataset: PrescriptionDataset, path: Union[str, Path]) -> None:
+    """Write ``dataset`` to ``path`` in the tab-separated token format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for prescription in dataset:
+        symptoms = " ".join(dataset.symptom_vocab.decode(prescription.symptoms))
+        herbs = " ".join(dataset.herb_vocab.decode(prescription.herbs))
+        lines.append(f"{symptoms}\t{herbs}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_corpus(
+    path: Union[str, Path],
+    symptom_vocab: Optional[Vocabulary] = None,
+    herb_vocab: Optional[Vocabulary] = None,
+    name: Optional[str] = None,
+) -> PrescriptionDataset:
+    """Load a corpus written by :func:`save_corpus` (or the original dataset format).
+
+    When vocabularies are not supplied they are built on the fly in order of
+    first appearance, which keeps ids stable for a fixed file.
+    """
+    path = Path(path)
+    symptom_vocab = symptom_vocab if symptom_vocab is not None else Vocabulary()
+    herb_vocab = herb_vocab if herb_vocab is not None else Vocabulary()
+    build_symptoms = len(symptom_vocab) == 0
+    build_herbs = len(herb_vocab) == 0
+
+    prescriptions: List[Prescription] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'symptoms<TAB>herbs', got {raw_line!r}"
+                )
+            symptom_tokens = parts[0].split()
+            herb_tokens = parts[1].split()
+            if build_symptoms:
+                symptom_ids = symptom_vocab.add_all(symptom_tokens)
+            else:
+                symptom_ids = symptom_vocab.encode(symptom_tokens)
+            if build_herbs:
+                herb_ids = herb_vocab.add_all(herb_tokens)
+            else:
+                herb_ids = herb_vocab.encode(herb_tokens)
+            prescriptions.append(Prescription(tuple(symptom_ids), tuple(herb_ids)))
+
+    return PrescriptionDataset(
+        prescriptions,
+        symptom_vocab=symptom_vocab,
+        herb_vocab=herb_vocab,
+        name=name or path.stem,
+    )
+
+
+@dataclass
+class Batch:
+    """A mini-batch of prescriptions ready for model consumption.
+
+    ``symptom_sets`` keeps the raw id tuples (the Syndrome Induction component
+    pools a variable-length set per example); ``herb_targets`` is the
+    multi-hot matrix used by the multi-label loss.
+    """
+
+    indices: np.ndarray
+    symptom_sets: List[Tuple[int, ...]]
+    herb_targets: np.ndarray
+    herb_sets: List[Tuple[int, ...]]
+
+    def __len__(self) -> int:
+        return len(self.symptom_sets)
+
+
+def batch_iterator(
+    dataset: PrescriptionDataset,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Iterate over the dataset in mini-batches of ``batch_size`` prescriptions."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(dataset))
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start : start + batch_size]
+        if drop_last and chunk.size < batch_size:
+            break
+        symptom_sets = [dataset[int(i)].symptoms for i in chunk]
+        herb_sets = [dataset[int(i)].herbs for i in chunk]
+        herb_targets = dataset.herb_multi_hot(chunk.tolist())
+        yield Batch(
+            indices=chunk.copy(),
+            symptom_sets=symptom_sets,
+            herb_targets=herb_targets,
+            herb_sets=herb_sets,
+        )

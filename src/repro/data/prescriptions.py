@@ -1,0 +1,242 @@
+"""Prescription corpus data structures.
+
+A *prescription* is the basic supervision unit of the herb-recommendation
+task: a set of symptom ids paired with the set of herb ids the doctor
+prescribed for them (paper Section II).  A :class:`PrescriptionDataset` bundles
+the prescriptions with the symptom/herb vocabularies and provides the derived
+quantities every model needs (herb frequencies, multi-hot targets, train/test
+splits, corpus statistics for Table II).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = ["Prescription", "PrescriptionDataset", "DatasetStatistics"]
+
+
+@dataclass(frozen=True)
+class Prescription:
+    """One symptom set / herb set pair, stored as sorted tuples of ids."""
+
+    symptoms: Tuple[int, ...]
+    herbs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "symptoms", tuple(sorted(set(int(s) for s in self.symptoms))))
+        object.__setattr__(self, "herbs", tuple(sorted(set(int(h) for h in self.herbs))))
+        if not self.symptoms:
+            raise ValueError("a prescription must contain at least one symptom")
+        if not self.herbs:
+            raise ValueError("a prescription must contain at least one herb")
+
+    @property
+    def num_symptoms(self) -> int:
+        return len(self.symptoms)
+
+    @property
+    def num_herbs(self) -> int:
+        return len(self.herbs)
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Corpus-level statistics in the shape of the paper's Table II."""
+
+    num_prescriptions: int
+    num_symptoms: int
+    num_herbs: int
+    num_observed_symptoms: int
+    num_observed_herbs: int
+    mean_symptoms_per_prescription: float
+    mean_herbs_per_prescription: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "#prescriptions": self.num_prescriptions,
+            "#symptoms": self.num_symptoms,
+            "#herbs": self.num_herbs,
+            "#observed symptoms": self.num_observed_symptoms,
+            "#observed herbs": self.num_observed_herbs,
+            "avg symptoms/prescription": round(self.mean_symptoms_per_prescription, 2),
+            "avg herbs/prescription": round(self.mean_herbs_per_prescription, 2),
+        }
+
+
+class PrescriptionDataset:
+    """A prescription corpus plus its symptom / herb vocabularies."""
+
+    def __init__(
+        self,
+        prescriptions: Sequence[Prescription],
+        symptom_vocab: Vocabulary,
+        herb_vocab: Vocabulary,
+        name: str = "tcm",
+    ) -> None:
+        self.prescriptions: List[Prescription] = list(prescriptions)
+        if not self.prescriptions:
+            raise ValueError("a dataset needs at least one prescription")
+        self.symptom_vocab = symptom_vocab
+        self.herb_vocab = herb_vocab
+        self.name = name
+        self._validate_ids()
+
+    def _validate_ids(self) -> None:
+        num_symptoms = len(self.symptom_vocab)
+        num_herbs = len(self.herb_vocab)
+        for i, prescription in enumerate(self.prescriptions):
+            if prescription.symptoms[-1] >= num_symptoms or prescription.symptoms[0] < 0:
+                raise ValueError(f"prescription {i} has a symptom id outside the vocabulary")
+            if prescription.herbs[-1] >= num_herbs or prescription.herbs[0] < 0:
+                raise ValueError(f"prescription {i} has a herb id outside the vocabulary")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.prescriptions)
+
+    def __iter__(self) -> Iterator[Prescription]:
+        return iter(self.prescriptions)
+
+    def __getitem__(self, index: int) -> Prescription:
+        return self.prescriptions[index]
+
+    @property
+    def num_symptoms(self) -> int:
+        return len(self.symptom_vocab)
+
+    @property
+    def num_herbs(self) -> int:
+        return len(self.herb_vocab)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def herb_frequencies(self) -> np.ndarray:
+        """Number of prescriptions each herb appears in (paper Fig. 5 / Eq. 15)."""
+        freq = np.zeros(self.num_herbs, dtype=np.float64)
+        for prescription in self.prescriptions:
+            for herb in prescription.herbs:
+                freq[herb] += 1.0
+        return freq
+
+    def symptom_frequencies(self) -> np.ndarray:
+        """Number of prescriptions each symptom appears in."""
+        freq = np.zeros(self.num_symptoms, dtype=np.float64)
+        for prescription in self.prescriptions:
+            for symptom in prescription.symptoms:
+                freq[symptom] += 1.0
+        return freq
+
+    def top_herbs(self, k: int = 40) -> List[Tuple[int, int]]:
+        """The ``k`` most frequent herbs as ``(herb_id, count)`` pairs (Fig. 5)."""
+        counts = Counter()
+        for prescription in self.prescriptions:
+            counts.update(prescription.herbs)
+        return counts.most_common(k)
+
+    def herb_multi_hot(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Multi-hot herb target matrix for the selected prescriptions."""
+        rows = range(len(self)) if indices is None else indices
+        rows = list(rows)
+        targets = np.zeros((len(rows), self.num_herbs), dtype=np.float64)
+        for out_row, idx in enumerate(rows):
+            targets[out_row, list(self.prescriptions[idx].herbs)] = 1.0
+        return targets
+
+    def symptom_multi_hot(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Multi-hot symptom matrix for the selected prescriptions."""
+        rows = range(len(self)) if indices is None else indices
+        rows = list(rows)
+        matrix = np.zeros((len(rows), self.num_symptoms), dtype=np.float64)
+        for out_row, idx in enumerate(rows):
+            matrix[out_row, list(self.prescriptions[idx].symptoms)] = 1.0
+        return matrix
+
+    def symptom_sets(self) -> List[Tuple[int, ...]]:
+        return [p.symptoms for p in self.prescriptions]
+
+    def herb_sets(self) -> List[Tuple[int, ...]]:
+        return [p.herbs for p in self.prescriptions]
+
+    def statistics(self) -> DatasetStatistics:
+        observed_symptoms = set()
+        observed_herbs = set()
+        total_symptoms = 0
+        total_herbs = 0
+        for prescription in self.prescriptions:
+            observed_symptoms.update(prescription.symptoms)
+            observed_herbs.update(prescription.herbs)
+            total_symptoms += prescription.num_symptoms
+            total_herbs += prescription.num_herbs
+        return DatasetStatistics(
+            num_prescriptions=len(self),
+            num_symptoms=self.num_symptoms,
+            num_herbs=self.num_herbs,
+            num_observed_symptoms=len(observed_symptoms),
+            num_observed_herbs=len(observed_herbs),
+            mean_symptoms_per_prescription=total_symptoms / len(self),
+            mean_herbs_per_prescription=total_herbs / len(self),
+        )
+
+    # ------------------------------------------------------------------
+    # Splitting / subsetting
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "PrescriptionDataset":
+        """A new dataset containing the selected prescriptions (vocabs shared)."""
+        selected = [self.prescriptions[i] for i in indices]
+        return PrescriptionDataset(
+            selected,
+            symptom_vocab=self.symptom_vocab,
+            herb_vocab=self.herb_vocab,
+            name=name or f"{self.name}-subset",
+        )
+
+    def train_test_split(
+        self,
+        test_fraction: float = 0.13,
+        rng: Optional[np.random.Generator] = None,
+        shuffle: bool = True,
+    ) -> Tuple["PrescriptionDataset", "PrescriptionDataset"]:
+        """Split into train/test datasets.
+
+        The paper uses 22,917 / 3,443, i.e. roughly a 87/13 split, which is the
+        default ``test_fraction`` here.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        indices = np.arange(len(self))
+        if shuffle:
+            rng = rng if rng is not None else np.random.default_rng()
+            rng.shuffle(indices)
+        num_test = max(1, int(round(len(self) * test_fraction)))
+        num_test = min(num_test, len(self) - 1)
+        test_idx = indices[:num_test]
+        train_idx = indices[num_test:]
+        train = self.subset(train_idx.tolist(), name=f"{self.name}-train")
+        test = self.subset(test_idx.tolist(), name=f"{self.name}-test")
+        return train, test
+
+    @classmethod
+    def from_id_sets(
+        cls,
+        pairs: Iterable[Tuple[Sequence[int], Sequence[int]]],
+        num_symptoms: int,
+        num_herbs: int,
+        name: str = "tcm",
+    ) -> "PrescriptionDataset":
+        """Build a dataset from raw ``(symptom_ids, herb_ids)`` pairs."""
+        prescriptions = [Prescription(tuple(s), tuple(h)) for s, h in pairs]
+        return cls(
+            prescriptions,
+            symptom_vocab=Vocabulary.from_prefix("symptom", num_symptoms),
+            herb_vocab=Vocabulary.from_prefix("herb", num_herbs),
+            name=name,
+        )

@@ -1,0 +1,18 @@
+"""Evaluation harness: ranking metrics, the test-set evaluator and case studies."""
+
+from .case_study import CaseStudyEntry, format_case_study, run_case_study
+from .evaluator import EvaluationResult, Evaluator
+from .metrics import evaluate_ranking, ndcg_at_k, precision_at_k, recall_at_k, top_k_indices
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "top_k_indices",
+    "evaluate_ranking",
+    "Evaluator",
+    "EvaluationResult",
+    "CaseStudyEntry",
+    "run_case_study",
+    "format_case_study",
+]

@@ -1,0 +1,87 @@
+"""Qualitative case study tooling (paper Fig. 10 / RQ5).
+
+For sampled test prescriptions, compare the recommended herb set against the
+ground truth and report the overlap, using the vocabularies to render
+human-readable tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..models.base import HerbRecommender
+
+__all__ = ["CaseStudyEntry", "run_case_study", "format_case_study"]
+
+
+@dataclass(frozen=True)
+class CaseStudyEntry:
+    """One prescription's symptoms, ground truth herbs and recommendations."""
+
+    symptoms: List[str]
+    true_herbs: List[str]
+    recommended_herbs: List[str]
+    hits: List[str]
+
+    @property
+    def precision(self) -> float:
+        if not self.recommended_herbs:
+            return 0.0
+        return len(self.hits) / len(self.recommended_herbs)
+
+    @property
+    def recall(self) -> float:
+        if not self.true_herbs:
+            return 0.0
+        return len(self.hits) / len(self.true_herbs)
+
+
+def run_case_study(
+    model: HerbRecommender,
+    dataset: PrescriptionDataset,
+    num_cases: int = 2,
+    top_k: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    indices: Optional[Sequence[int]] = None,
+) -> List[CaseStudyEntry]:
+    """Sample prescriptions and build case-study entries for ``model``."""
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    if indices is None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        num_cases = min(num_cases, len(dataset))
+        indices = rng.choice(len(dataset), size=num_cases, replace=False).tolist()
+    entries: List[CaseStudyEntry] = []
+    for index in indices:
+        prescription = dataset[int(index)]
+        recommended_ids = model.recommend(prescription.symptoms, k=top_k)
+        true_ids = set(prescription.herbs)
+        hits = [h for h in recommended_ids if h in true_ids]
+        entries.append(
+            CaseStudyEntry(
+                symptoms=dataset.symptom_vocab.decode(prescription.symptoms),
+                true_herbs=dataset.herb_vocab.decode(sorted(true_ids)),
+                recommended_herbs=dataset.herb_vocab.decode(recommended_ids),
+                hits=dataset.herb_vocab.decode(hits),
+            )
+        )
+    return entries
+
+
+def format_case_study(entries: Sequence[CaseStudyEntry]) -> str:
+    """Render case-study entries as a readable multi-line report."""
+    lines: List[str] = []
+    for case_number, entry in enumerate(entries, start=1):
+        lines.append(f"Case {case_number}")
+        lines.append(f"  Symptom set      : {', '.join(entry.symptoms)}")
+        lines.append(f"  Ground-truth herbs: {', '.join(entry.true_herbs)}")
+        lines.append(f"  Recommended herbs : {', '.join(entry.recommended_herbs)}")
+        lines.append(
+            f"  Overlap            : {', '.join(entry.hits) if entry.hits else '(none)'} "
+            f"(precision {entry.precision:.2f}, recall {entry.recall:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Test-set evaluation harness.
+
+Scores every test prescription with a :class:`~repro.models.base.HerbRecommender`
+in batches and reports the paper's nine headline numbers
+(p/r/ndcg @ {5, 10, 20} by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..models.base import HerbRecommender
+from .metrics import evaluate_ranking
+
+__all__ = ["EvaluationResult", "Evaluator"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Metric values for one model on one test set."""
+
+    model_name: str
+    metrics: Dict[str, float]
+    num_prescriptions: int
+
+    def metric(self, name: str) -> float:
+        if name not in self.metrics:
+            raise KeyError(f"metric {name!r} not computed; available: {sorted(self.metrics)}")
+        return self.metrics[name]
+
+    def as_row(self, keys: Optional[Sequence[str]] = None) -> Dict[str, float]:
+        """The metrics as an ordered row dict (used by the reporting tables)."""
+        keys = keys if keys is not None else sorted(self.metrics)
+        row: Dict[str, float] = {"model": self.model_name}
+        for key in keys:
+            row[key] = round(self.metrics[key], 4)
+        return row
+
+
+class Evaluator:
+    """Evaluate recommenders on a fixed test split."""
+
+    def __init__(
+        self,
+        test_dataset: PrescriptionDataset,
+        ks: Iterable[int] = (5, 10, 20),
+        batch_size: int = 256,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        ks = tuple(int(k) for k in ks)
+        if not ks or any(k <= 0 for k in ks):
+            raise ValueError("ks must contain positive integers")
+        self.test_dataset = test_dataset
+        self.ks = ks
+        self.batch_size = batch_size
+        self._symptom_sets = test_dataset.symptom_sets()
+        self._herb_sets = test_dataset.herb_sets()
+
+    def score_matrix(self, model: HerbRecommender) -> np.ndarray:
+        """Model scores for every test prescription, computed in batches."""
+        rows = []
+        for start in range(0, len(self._symptom_sets), self.batch_size):
+            chunk = self._symptom_sets[start : start + self.batch_size]
+            scores = model.score_sets(chunk)
+            if scores.shape != (len(chunk), self.test_dataset.num_herbs):
+                raise ValueError(
+                    f"model returned scores of shape {scores.shape}, expected "
+                    f"({len(chunk)}, {self.test_dataset.num_herbs})"
+                )
+            rows.append(scores)
+        return np.vstack(rows)
+
+    def evaluate(self, model: HerbRecommender, name: Optional[str] = None) -> EvaluationResult:
+        """Compute p/r/ndcg at every ``k`` for ``model`` on the test split."""
+        scores = self.score_matrix(model)
+        metrics = evaluate_ranking(scores, self._herb_sets, ks=self.ks)
+        return EvaluationResult(
+            model_name=name or type(model).__name__,
+            metrics=metrics,
+            num_prescriptions=len(self.test_dataset),
+        )
+
+    def metric_keys(self) -> Tuple[str, ...]:
+        keys = []
+        for prefix in ("p", "r", "ndcg"):
+            for k in self.ks:
+                keys.append(f"{prefix}@{k}")
+        return tuple(keys)

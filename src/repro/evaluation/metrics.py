@@ -1,0 +1,107 @@
+"""Ranking metrics: Precision@K, Recall@K and NDCG@K (paper Eqs. 16-18).
+
+All metrics operate on a score matrix (one row per test prescription, one
+column per herb) and the ground-truth herb sets, truncate the ranking at K and
+are averaged over prescriptions, exactly as in the paper's evaluation
+protocol (truncation at 20, reported at K in {5, 10, 20}).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "top_k_indices",
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "evaluate_ranking",
+]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-``k`` entries per row, ordered by decreasing score."""
+    if scores.ndim != 2:
+        raise ValueError("scores must be a 2-D matrix")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, scores.shape[1])
+    partition = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    row_indices = np.arange(scores.shape[0])[:, None]
+    order = np.argsort(-scores[row_indices, partition], axis=1)
+    return partition[row_indices, order]
+
+
+def _hit_matrix(top_k: np.ndarray, truth_sets: Sequence[Sequence[int]]) -> np.ndarray:
+    hits = np.zeros_like(top_k, dtype=np.float64)
+    for row, truth in enumerate(truth_sets):
+        truth_set = set(truth)
+        if not truth_set:
+            continue
+        hits[row] = [1.0 if herb in truth_set else 0.0 for herb in top_k[row]]
+    return hits
+
+
+def precision_at_k(scores: np.ndarray, truth_sets: Sequence[Sequence[int]], k: int) -> float:
+    """Mean fraction of the top-``k`` recommendations that are true herbs (Eq. 16)."""
+    _validate(scores, truth_sets)
+    top = top_k_indices(scores, k)
+    hits = _hit_matrix(top, truth_sets)
+    return float(hits.sum(axis=1).mean() / k)
+
+
+def recall_at_k(scores: np.ndarray, truth_sets: Sequence[Sequence[int]], k: int) -> float:
+    """Mean fraction of true herbs covered by the top-``k`` recommendations (Eq. 17)."""
+    _validate(scores, truth_sets)
+    top = top_k_indices(scores, k)
+    hits = _hit_matrix(top, truth_sets)
+    recalls = []
+    for row, truth in enumerate(truth_sets):
+        if len(truth) == 0:
+            continue
+        recalls.append(hits[row].sum() / len(set(truth)))
+    return float(np.mean(recalls)) if recalls else 0.0
+
+
+def ndcg_at_k(scores: np.ndarray, truth_sets: Sequence[Sequence[int]], k: int) -> float:
+    """Normalised Discounted Cumulative Gain at ``k`` with binary relevance (Eq. 18)."""
+    _validate(scores, truth_sets)
+    top = top_k_indices(scores, k)
+    hits = _hit_matrix(top, truth_sets)
+    k_eff = top.shape[1]
+    discounts = 1.0 / np.log2(np.arange(2, k_eff + 2))
+    ndcgs = []
+    for row, truth in enumerate(truth_sets):
+        num_relevant = len(set(truth))
+        if num_relevant == 0:
+            continue
+        dcg = float((hits[row] * discounts).sum())
+        ideal_hits = min(num_relevant, k_eff)
+        idcg = float(discounts[:ideal_hits].sum())
+        ndcgs.append(dcg / idcg if idcg > 0 else 0.0)
+    return float(np.mean(ndcgs)) if ndcgs else 0.0
+
+
+def evaluate_ranking(
+    scores: np.ndarray,
+    truth_sets: Sequence[Sequence[int]],
+    ks: Iterable[int] = (5, 10, 20),
+) -> Dict[str, float]:
+    """All three metrics at every requested ``k``, keyed like ``p@5`` / ``r@10`` / ``ndcg@20``."""
+    results: Dict[str, float] = {}
+    for k in ks:
+        results[f"p@{k}"] = precision_at_k(scores, truth_sets, k)
+        results[f"r@{k}"] = recall_at_k(scores, truth_sets, k)
+        results[f"ndcg@{k}"] = ndcg_at_k(scores, truth_sets, k)
+    return results
+
+
+def _validate(scores: np.ndarray, truth_sets: Sequence[Sequence[int]]) -> None:
+    if scores.ndim != 2:
+        raise ValueError("scores must be a 2-D matrix")
+    if scores.shape[0] != len(truth_sets):
+        raise ValueError(
+            f"scores has {scores.shape[0]} rows but {len(truth_sets)} truth sets were provided"
+        )

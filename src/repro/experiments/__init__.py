@@ -1,0 +1,48 @@
+"""Experiment runners — one per table/figure in the paper's evaluation section.
+
+Typical usage::
+
+    from repro.experiments import run_experiment
+    table = run_experiment("table4", scale="smoke")
+    print(table.to_text())
+"""
+
+from .datasets import (
+    ExperimentProfile,
+    PROFILES,
+    experiment_corpus,
+    experiment_evaluator,
+    experiment_split,
+    get_profile,
+)
+from .registry import EXPERIMENTS, ExperimentSpec, list_experiments, run_experiment
+from .reporting import Series, Table
+from .runners import (
+    ALL_MODEL_NAMES,
+    NEURAL_MODEL_NAMES,
+    build_neural_model,
+    train_and_evaluate,
+    train_hc_kgetm,
+    train_neural_model,
+)
+
+__all__ = [
+    "Table",
+    "Series",
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "experiment_corpus",
+    "experiment_split",
+    "experiment_evaluator",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "list_experiments",
+    "run_experiment",
+    "ALL_MODEL_NAMES",
+    "NEURAL_MODEL_NAMES",
+    "build_neural_model",
+    "train_neural_model",
+    "train_hc_kgetm",
+    "train_and_evaluate",
+]

@@ -1,0 +1,150 @@
+"""Canonical experiment corpora and hyper-parameter profiles.
+
+Every experiment runner draws its data and default hyper-parameters from one
+of two *scales*:
+
+* ``"default"`` — the corpus and settings used for the numbers recorded in
+  EXPERIMENTS.md (a few thousand synthetic prescriptions; minutes of CPU time
+  across the full suite);
+* ``"smoke"`` — a miniature configuration used by the unit tests and the
+  pytest-benchmark harness so that a full pass stays fast.
+
+Both are fully seeded, so results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..data.synthetic import SyntheticCorpus, SyntheticTCMConfig, generate_corpus
+from ..evaluation.evaluator import Evaluator
+from ..models.smgcn import SMGCNConfig
+from ..training.config import TrainerConfig
+
+__all__ = ["ExperimentProfile", "get_profile", "experiment_corpus", "experiment_split", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Everything an experiment needs to be reproducible at one scale."""
+
+    name: str
+    corpus_config: SyntheticTCMConfig
+    test_fraction: float
+    split_seed: int
+    embedding_dim: int
+    layer_dims: Tuple[int, ...]
+    symptom_threshold: float
+    herb_threshold: float
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    weight_decay: float
+    topic_count: int
+    gibbs_iterations: int
+    ks: Tuple[int, ...] = (5, 10, 20)
+
+    def smgcn_config(self, **overrides) -> SMGCNConfig:
+        """The SMGCN configuration for this profile (override any field)."""
+        base = dict(
+            embedding_dim=self.embedding_dim,
+            layer_dims=self.layer_dims,
+            symptom_threshold=self.symptom_threshold,
+            herb_threshold=self.herb_threshold,
+            seed=0,
+        )
+        base.update(overrides)
+        return SMGCNConfig(**base)
+
+    def trainer_config(self, **overrides) -> TrainerConfig:
+        """The trainer configuration for this profile (override any field)."""
+        base = dict(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+            seed=0,
+        )
+        base.update(overrides)
+        return TrainerConfig(**base)
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "default": ExperimentProfile(
+        name="default",
+        corpus_config=SyntheticTCMConfig(
+            num_prescriptions=2000,
+            num_symptoms=100,
+            num_herbs=200,
+            num_syndromes=15,
+            noise_symptom_probability=0.15,
+            noise_herb_probability=0.1,
+            seed=2020,
+        ),
+        test_fraction=0.13,
+        split_seed=2020,
+        embedding_dim=32,
+        layer_dims=(64, 64),
+        symptom_threshold=3,
+        herb_threshold=8,
+        epochs=60,
+        batch_size=256,
+        learning_rate=5e-3,
+        weight_decay=1e-5,
+        topic_count=15,
+        gibbs_iterations=10,
+    ),
+    "smoke": ExperimentProfile(
+        name="smoke",
+        corpus_config=SyntheticTCMConfig.tiny(seed=2020),
+        test_fraction=0.2,
+        split_seed=2020,
+        embedding_dim=16,
+        layer_dims=(24, 24),
+        symptom_threshold=2,
+        herb_threshold=4,
+        epochs=8,
+        batch_size=64,
+        learning_rate=5e-3,
+        weight_decay=1e-5,
+        topic_count=6,
+        gibbs_iterations=3,
+        ks=(5, 10, 20),
+    ),
+}
+
+
+def get_profile(scale: str = "default") -> ExperimentProfile:
+    """Look up a profile by name (``"default"`` or ``"smoke"``)."""
+    if scale not in PROFILES:
+        raise KeyError(f"unknown experiment scale {scale!r}; choose from {sorted(PROFILES)}")
+    return PROFILES[scale]
+
+
+@lru_cache(maxsize=8)
+def experiment_corpus(scale: str = "default") -> SyntheticCorpus:
+    """The (cached) synthetic corpus for one scale."""
+    profile = get_profile(scale)
+    return generate_corpus(profile.corpus_config)
+
+
+@lru_cache(maxsize=8)
+def experiment_split(scale: str = "default") -> Tuple[PrescriptionDataset, PrescriptionDataset]:
+    """The (cached) train/test split for one scale."""
+    profile = get_profile(scale)
+    corpus = experiment_corpus(scale)
+    return corpus.dataset.train_test_split(
+        test_fraction=profile.test_fraction, rng=np.random.default_rng(profile.split_seed)
+    )
+
+
+def experiment_evaluator(scale: str = "default") -> Evaluator:
+    """An evaluator over the test split with the profile's K values."""
+    profile = get_profile(scale)
+    _, test = experiment_split(scale)
+    return Evaluator(test, ks=profile.ks)

@@ -1,0 +1,62 @@
+"""Figure 8 — sensitivity to the L2 regularisation strength lambda (RQ4).
+
+The paper sweeps lambda around 5e-3..1e-2 and finds a shallow optimum at 7e-3:
+too little regularisation overfits, too much underfits.  The reproduction
+sweeps a wider logarithmic range around its profile default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .datasets import experiment_evaluator, get_profile
+from .reporting import Series
+from .runners import train_and_evaluate
+
+__all__ = ["PAPER_REFERENCE", "run", "default_lambdas"]
+
+#: Paper Fig. 8 (approximate values read from the plots, lambda in units of 1e-3).
+PAPER_REFERENCE: Dict[float, Dict[str, float]] = {
+    5e-3: {"p@5": 0.2905, "r@5": 0.2058, "ndcg@5": 0.3898},
+    6e-3: {"p@5": 0.2912, "r@5": 0.2064, "ndcg@5": 0.3905},
+    7e-3: {"p@5": 0.2928, "r@5": 0.2076, "ndcg@5": 0.3920},
+    8e-3: {"p@5": 0.2918, "r@5": 0.2068, "ndcg@5": 0.3910},
+    9e-3: {"p@5": 0.2910, "r@5": 0.2062, "ndcg@5": 0.3902},
+    1e-2: {"p@5": 0.2902, "r@5": 0.2056, "ndcg@5": 0.3895},
+}
+
+
+def default_lambdas(scale: str = "default") -> Sequence[float]:
+    """The swept weight-decay values (log-spaced around the profile default)."""
+    base = get_profile(scale).weight_decay
+    return tuple(base * factor for factor in (0.0, 0.1, 1.0, 10.0, 100.0, 1000.0))
+
+
+def run(scale: str = "default", lambdas: Optional[Sequence[float]] = None) -> Series:
+    """Sweep the L2 strength for the full SMGCN."""
+    profile = get_profile(scale)
+    evaluator = experiment_evaluator(scale)
+    lambdas = tuple(lambdas) if lambdas is not None else tuple(default_lambdas(scale))
+    series = Series(
+        title=f"Fig. 8 — SMGCN performance vs L2 strength lambda ({scale} corpus)",
+        x_label="lambda",
+    )
+    for weight_decay in lambdas:
+        if weight_decay < 0:
+            raise ValueError("lambda values must be non-negative")
+        trainer_config = profile.trainer_config(weight_decay=float(weight_decay))
+        result = train_and_evaluate(
+            "SMGCN", scale=scale, evaluator=evaluator, trainer_config=trainer_config
+        )
+        series.add_point(
+            float(weight_decay),
+            **{
+                "p@5": result.metrics["p@5"],
+                "r@5": result.metrics["r@5"],
+                "ndcg@5": result.metrics["ndcg@5"],
+            },
+        )
+    series.notes.append(
+        "expected shape (paper): shallow interior optimum; very large lambda underfits"
+    )
+    return series

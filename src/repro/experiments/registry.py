@@ -1,0 +1,158 @@
+"""Experiment registry: one entry per table / figure in the paper's evaluation.
+
+``EXPERIMENTS`` maps a short id (e.g. ``"table4"``) to an
+:class:`ExperimentSpec` holding the title, the paper reference data, the
+expected qualitative shape and the runner callable.  ``run_experiment`` is the
+single entry point used by the examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from . import (
+    fig5_herb_frequency,
+    fig7_thresholds,
+    fig8_regularization,
+    fig9_dropout,
+    fig10_case_study,
+    table2_statistics,
+    table3_parameters,
+    table4_overall,
+    table5_ablation,
+    table6_layers,
+    table7_dimensions,
+    table8_loss,
+)
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata + runner for one table/figure of the paper."""
+
+    experiment_id: str
+    title: str
+    paper_section: str
+    expected_shape: str
+    runner: Callable[..., Any]
+    paper_reference: Any
+
+    def run(self, scale: str = "default", **kwargs) -> Any:
+        return self.runner(scale=scale, **kwargs)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "fig5": ExperimentSpec(
+        "fig5",
+        "Fig. 5 — herb frequency distribution",
+        "IV-E",
+        "heavily right-skewed herb frequencies",
+        fig5_herb_frequency.run,
+        fig5_herb_frequency.PAPER_REFERENCE,
+    ),
+    "table2": ExperimentSpec(
+        "table2",
+        "Table II — dataset statistics",
+        "V-A",
+        "corpus and ~87/13 train/test split statistics",
+        table2_statistics.run,
+        table2_statistics.PAPER_REFERENCE,
+    ),
+    "table3": ExperimentSpec(
+        "table3",
+        "Table III — optimal hyper-parameters",
+        "V-D",
+        "paper's tuned settings vs this reproduction's settings",
+        table3_parameters.run,
+        table3_parameters.PAPER_REFERENCE,
+    ),
+    "table4": ExperimentSpec(
+        "table4",
+        "Table IV — overall performance comparison",
+        "V-E-1",
+        "SMGCN > HeteGCN > PinSage >= GC-MC >= NGCF > HC-KGETM",
+        table4_overall.run,
+        table4_overall.PAPER_REFERENCE,
+    ),
+    "table5": ExperimentSpec(
+        "table5",
+        "Table V — ablation of SMGCN components",
+        "V-E-2",
+        "PinSage < Bipar-GCN < w/ SGE, w/ SI < SMGCN",
+        table5_ablation.run,
+        table5_ablation.PAPER_REFERENCE,
+    ),
+    "table6": ExperimentSpec(
+        "table6",
+        "Table VI — effect of GCN depth",
+        "V-E-3",
+        "flat; depth 2 marginally best, depth 3 slightly worse",
+        table6_layers.run,
+        table6_layers.PAPER_REFERENCE,
+    ),
+    "table7": ExperimentSpec(
+        "table7",
+        "Table VII — effect of final embedding dimension",
+        "V-E-3",
+        "improves with dimension until saturation",
+        table7_dimensions.run,
+        table7_dimensions.PAPER_REFERENCE,
+    ),
+    "fig7": ExperimentSpec(
+        "fig7",
+        "Fig. 7 — herb-herb threshold sweep",
+        "V-E-3",
+        "interior optimum over the threshold",
+        fig7_thresholds.run,
+        fig7_thresholds.PAPER_REFERENCE,
+    ),
+    "fig8": ExperimentSpec(
+        "fig8",
+        "Fig. 8 — L2 regularisation sweep",
+        "V-E-3",
+        "shallow interior optimum over lambda",
+        fig8_regularization.run,
+        fig8_regularization.PAPER_REFERENCE,
+    ),
+    "fig9": ExperimentSpec(
+        "fig9",
+        "Fig. 9 — message dropout sweep",
+        "V-E-3",
+        "monotone degradation with increasing dropout",
+        fig9_dropout.run,
+        fig9_dropout.PAPER_REFERENCE,
+    ),
+    "table8": ExperimentSpec(
+        "table8",
+        "Table VIII — loss function comparison",
+        "V-E-3",
+        "multi-label loss > BPR; Bipar-GCN w/ SI + multi-label best",
+        table8_loss.run,
+        table8_loss.PAPER_REFERENCE,
+    ),
+    "fig10": ExperimentSpec(
+        "fig10",
+        "Fig. 10 — recommendation case study",
+        "V-E-4",
+        "substantial overlap between recommended and ground-truth herb sets",
+        fig10_case_study.run,
+        fig10_case_study.PAPER_REFERENCE,
+    ),
+}
+
+
+def list_experiments() -> Tuple[str, ...]:
+    """All experiment ids in paper order."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, scale: str = "default", **kwargs) -> Any:
+    """Run one experiment by id (e.g. ``run_experiment("table4", scale="smoke")``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id].run(scale=scale, **kwargs)

@@ -1,0 +1,131 @@
+"""Reporting primitives: text tables and series for the experiment runners.
+
+Every experiment returns either a :class:`Table` (for the paper's tables) or a
+:class:`Series` collection (for its figures).  Both render to aligned plain
+text so benchmark runs print rows directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Table", "Series", "format_value"]
+
+Value = Union[str, int, float, None]
+
+
+def format_value(value: Value, precision: int = 4) -> str:
+    """Render one cell: floats to fixed precision, everything else via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns and dict rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Value]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Value) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row contains unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Value]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key_column: str, key_value: Value) -> Dict[str, Value]:
+        """The first row whose ``key_column`` equals ``key_value``."""
+        for row in self.rows:
+            if row.get(key_column) == key_value:
+                return row
+        raise KeyError(f"no row with {key_column}={key_value!r}")
+
+    def to_text(self, precision: int = 4) -> str:
+        """Aligned plain-text rendering."""
+        header = list(self.columns)
+        body = [[format_value(row.get(col), precision) for col in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        for row in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class Series:
+    """A named curve: x values (sweep parameter) against one or more metrics.
+
+    Used for the paper's figures (e.g. Fig. 7's p@5 / r@5 / ndcg@5 versus the
+    herb-herb threshold).
+    """
+
+    title: str
+    x_label: str
+    x_values: List[Value] = field(default_factory=list)
+    metrics: Dict[str, List[float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_point(self, x_value: Value, **metric_values: float) -> None:
+        self.x_values.append(x_value)
+        for name, value in metric_values.items():
+            self.metrics.setdefault(name, []).append(float(value))
+        for name, values in self.metrics.items():
+            if len(values) < len(self.x_values):
+                raise ValueError(f"metric {name!r} missing a value for x={x_value!r}")
+
+    def metric(self, name: str) -> List[float]:
+        if name not in self.metrics:
+            raise KeyError(f"unknown metric {name!r}; available: {sorted(self.metrics)}")
+        return self.metrics[name]
+
+    def best_x(self, metric_name: str) -> Value:
+        """The x value achieving the maximum of ``metric_name``."""
+        if not self.x_values:
+            raise ValueError("series is empty")
+        values = self.metric(metric_name)
+        best_index = max(range(len(values)), key=lambda i: values[i])
+        return self.x_values[best_index]
+
+    def to_table(self) -> Table:
+        columns = [self.x_label] + sorted(self.metrics)
+        table = Table(title=self.title, columns=columns)
+        for i, x_value in enumerate(self.x_values):
+            row = {self.x_label: x_value}
+            for name in sorted(self.metrics):
+                row[name] = self.metrics[name][i]
+            table.add_row(**row)
+        for note in self.notes:
+            table.add_note(note)
+        return table
+
+    def to_text(self, precision: int = 4) -> str:
+        return self.to_table().to_text(precision)
+
+    def __len__(self) -> int:
+        return len(self.x_values)

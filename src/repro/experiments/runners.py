@@ -1,0 +1,129 @@
+"""Shared model-building / training helpers for the experiment runners.
+
+The model zoo maps the names used in the paper's tables onto constructors, so
+every experiment builds, trains and evaluates models through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..data.knowledge_graph import build_kg_from_latent
+from ..evaluation.evaluator import EvaluationResult, Evaluator
+from ..models import (
+    GCMC,
+    GCMCConfig,
+    HCKGETM,
+    HCKGETMConfig,
+    HeteGCN,
+    HeteGCNConfig,
+    NGCF,
+    NGCFConfig,
+    PinSage,
+    PinSageConfig,
+    SMGCN,
+    SMGCNConfig,
+)
+from ..models.base import HerbRecommender
+from ..training import Trainer, TrainerConfig
+from .datasets import experiment_corpus, experiment_evaluator, experiment_split, get_profile
+
+__all__ = [
+    "NEURAL_MODEL_NAMES",
+    "ALL_MODEL_NAMES",
+    "build_neural_model",
+    "train_neural_model",
+    "train_hc_kgetm",
+    "train_and_evaluate",
+]
+
+NEURAL_MODEL_NAMES = ("GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN")
+SUBMODEL_NAMES = ("Bipar-GCN", "Bipar-GCN w/ SGE", "Bipar-GCN w/ SI")
+ALL_MODEL_NAMES = ("HC-KGETM",) + NEURAL_MODEL_NAMES
+
+
+def build_neural_model(name: str, scale: str = "default", **model_overrides):
+    """Instantiate one of the neural models on the profile's training split."""
+    profile = get_profile(scale)
+    train, _ = experiment_split(scale)
+    if name == "SMGCN":
+        return SMGCN.from_dataset(train, profile.smgcn_config(**model_overrides))
+    if name == "Bipar-GCN":
+        return SMGCN.bipar_gcn_only(train, profile.smgcn_config(), **model_overrides)
+    if name == "Bipar-GCN w/ SGE":
+        return SMGCN.bipar_gcn_with_sge(train, profile.smgcn_config(), **model_overrides)
+    if name == "Bipar-GCN w/ SI":
+        return SMGCN.bipar_gcn_with_si(train, profile.smgcn_config(), **model_overrides)
+    if name == "GC-MC":
+        return GCMC.from_dataset(
+            train, GCMCConfig(embedding_dim=profile.embedding_dim, seed=0, **model_overrides)
+        )
+    if name == "PinSage":
+        return PinSage.from_dataset(
+            train, PinSageConfig(embedding_dim=profile.embedding_dim, seed=0, **model_overrides)
+        )
+    if name == "NGCF":
+        return NGCF.from_dataset(
+            train, NGCFConfig(embedding_dim=profile.embedding_dim, seed=0, **model_overrides)
+        )
+    if name == "HeteGCN":
+        return HeteGCN.from_dataset(
+            train,
+            HeteGCNConfig(
+                embedding_dim=profile.embedding_dim,
+                hidden_dim=profile.layer_dims[0],
+                symptom_threshold=profile.symptom_threshold,
+                herb_threshold=profile.herb_threshold,
+                seed=0,
+                **model_overrides,
+            ),
+        )
+    raise KeyError(f"unknown neural model {name!r}")
+
+
+def train_neural_model(
+    name: str,
+    scale: str = "default",
+    trainer_config: Optional[TrainerConfig] = None,
+    **model_overrides,
+):
+    """Build and train one neural model; returns ``(model, history)``."""
+    profile = get_profile(scale)
+    train, _ = experiment_split(scale)
+    model = build_neural_model(name, scale=scale, **model_overrides)
+    config = trainer_config if trainer_config is not None else profile.trainer_config()
+    history = Trainer(config).fit(model, train)
+    return model, history
+
+
+def train_hc_kgetm(scale: str = "default", **config_overrides) -> HCKGETM:
+    """Fit the HC-KGETM topic-model baseline on the profile's training split."""
+    profile = get_profile(scale)
+    corpus = experiment_corpus(scale)
+    train, _ = experiment_split(scale)
+    kg = build_kg_from_latent(corpus)
+    config = HCKGETMConfig(
+        num_topics=config_overrides.pop("num_topics", profile.topic_count),
+        gibbs_iterations=config_overrides.pop("gibbs_iterations", profile.gibbs_iterations),
+        seed=0,
+        **config_overrides,
+    )
+    return HCKGETM(train.num_symptoms, train.num_herbs, config).fit(train, kg)
+
+
+def train_and_evaluate(
+    name: str,
+    scale: str = "default",
+    evaluator: Optional[Evaluator] = None,
+    trainer_config: Optional[TrainerConfig] = None,
+    **model_overrides,
+) -> EvaluationResult:
+    """Train one named model (neural or HC-KGETM) and evaluate it."""
+    evaluator = evaluator if evaluator is not None else experiment_evaluator(scale)
+    if name == "HC-KGETM":
+        model: HerbRecommender = train_hc_kgetm(scale, **model_overrides)
+    else:
+        model, _ = train_neural_model(
+            name, scale=scale, trainer_config=trainer_config, **model_overrides
+        )
+    return evaluator.evaluate(model, name=name)

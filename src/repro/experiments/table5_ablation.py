@@ -1,0 +1,49 @@
+"""Table V — ablation analysis of SMGCN's components (RQ3).
+
+Compares PinSage (the simplest shared-weight baseline) with the SMGCN
+sub-models: Bipar-GCN alone, Bipar-GCN w/ SGE, Bipar-GCN w/ SI and the full
+SMGCN.  The expected shape: every added component helps and the full model is
+the best of the family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .datasets import experiment_evaluator
+from .reporting import Table
+from .runners import train_and_evaluate
+
+__all__ = ["PAPER_REFERENCE", "SUBMODEL_ORDER", "run"]
+
+SUBMODEL_ORDER = ("PinSage", "Bipar-GCN", "Bipar-GCN w/ SGE", "Bipar-GCN w/ SI", "SMGCN")
+
+#: Paper Table V (p@5 / r@5 / ndcg@5).
+PAPER_REFERENCE: Dict[str, Dict[str, float]] = {
+    "PinSage": {"p@5": 0.2841, "r@5": 0.1995, "ndcg@5": 0.3841},
+    "Bipar-GCN": {"p@5": 0.2859, "r@5": 0.2003, "ndcg@5": 0.3820},
+    "Bipar-GCN w/ SGE": {"p@5": 0.2916, "r@5": 0.2064, "ndcg@5": 0.3900},
+    "Bipar-GCN w/ SI": {"p@5": 0.2914, "r@5": 0.2060, "ndcg@5": 0.3885},
+    "SMGCN": {"p@5": 0.2928, "r@5": 0.2076, "ndcg@5": 0.3923},
+}
+
+
+def run(scale: str = "default", submodels: Optional[Sequence[str]] = None) -> Table:
+    """Train and evaluate every Table V sub-model at ``scale``."""
+    evaluator = experiment_evaluator(scale)
+    submodels = tuple(submodels) if submodels is not None else SUBMODEL_ORDER
+    unknown = set(submodels) - set(SUBMODEL_ORDER)
+    if unknown:
+        raise KeyError(f"unknown Table V sub-models: {sorted(unknown)}")
+    reported = ["p@5", "r@5", "ndcg@5"]
+    table = Table(
+        title=f"Table V — performance of different sub-models ({scale} corpus)",
+        columns=["submodel"] + reported,
+    )
+    for name in submodels:
+        result = train_and_evaluate(name, scale=scale, evaluator=evaluator)
+        table.add_row(submodel=name, **{key: result.metrics[key] for key in reported})
+    table.add_note(
+        "expected shape (paper): PinSage < Bipar-GCN < {Bipar-GCN w/ SGE, Bipar-GCN w/ SI} < SMGCN"
+    )
+    return table

@@ -1,0 +1,48 @@
+"""Table VI — effect of the number of GCN propagation layers (RQ4).
+
+Sweeps the Bipar-GCN depth on the "Bipar-GCN w/ SI" sub-model.  Expected
+shape: performance is fairly flat, two layers marginally best, three layers
+slightly worse (over-fitting / over-smoothing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .datasets import experiment_evaluator, get_profile
+from .reporting import Table
+from .runners import train_and_evaluate
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Paper Table VI (Bipar-GCN w/ SI, last layer dimension 256).
+PAPER_REFERENCE: Dict[int, Dict[str, float]] = {
+    1: {"p@5": 0.2898, "p@20": 0.1688, "r@5": 0.2044, "r@20": 0.4702, "ndcg@5": 0.3864, "ndcg@20": 0.5684},
+    2: {"p@5": 0.2914, "p@20": 0.1690, "r@5": 0.2060, "r@20": 0.4695, "ndcg@5": 0.3885, "ndcg@20": 0.5699},
+    3: {"p@5": 0.2882, "p@20": 0.1684, "r@5": 0.2030, "r@20": 0.4684, "ndcg@5": 0.3869, "ndcg@20": 0.5693},
+}
+
+
+def run(scale: str = "default", depths: Sequence[int] = (1, 2, 3)) -> Table:
+    """Sweep the Bipar-GCN depth on the Bipar-GCN w/ SI sub-model."""
+    profile = get_profile(scale)
+    evaluator = experiment_evaluator(scale)
+    reported = ["p@5", "p@20", "r@5", "r@20", "ndcg@5", "ndcg@20"]
+    table = Table(
+        title=f"Table VI — effect of layer numbers on Bipar-GCN w/ SI ({scale} corpus)",
+        columns=["depth"] + reported,
+    )
+    output_dim = profile.layer_dims[-1]
+    for depth in depths:
+        if depth <= 0:
+            raise ValueError("depths must be positive")
+        hidden = list(profile.layer_dims[:-1])[: depth - 1]
+        while len(hidden) < depth - 1:
+            hidden.append(profile.layer_dims[0])
+        layer_dims = tuple(hidden + [output_dim])
+        result = train_and_evaluate(
+            "Bipar-GCN w/ SI", scale=scale, evaluator=evaluator, layer_dims=layer_dims
+        )
+        table.add_row(depth=depth, **{key: result.metrics[key] for key in reported})
+    table.add_note("expected shape (paper): flat, depth 2 marginally best, depth 3 slightly worse")
+    return table

@@ -1,0 +1,27 @@
+"""Graph construction substrate: the symptom-herb bipartite graph and the
+symptom-symptom / herb-herb synergy graphs, plus shared normalisation helpers."""
+
+from .adjacency import add_self_loops, bipartite_block_matrix, row_normalise, symmetric_normalise
+from .bipartite import SymptomHerbGraph
+from .stats import DegreeSummary, graph_comparison, summarise_degrees
+from .synergy import (
+    SynergyGraph,
+    build_herb_synergy_graph,
+    build_symptom_synergy_graph,
+    cooccurrence_counts,
+)
+
+__all__ = [
+    "SymptomHerbGraph",
+    "SynergyGraph",
+    "build_symptom_synergy_graph",
+    "build_herb_synergy_graph",
+    "cooccurrence_counts",
+    "row_normalise",
+    "symmetric_normalise",
+    "add_self_loops",
+    "bipartite_block_matrix",
+    "DegreeSummary",
+    "summarise_degrees",
+    "graph_comparison",
+]

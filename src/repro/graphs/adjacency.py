@@ -1,0 +1,62 @@
+"""Generic normalised-adjacency builders shared by the baseline GNNs.
+
+The baselines differ mainly in how they normalise and combine the bipartite
+adjacency; collecting those operators here keeps the model code focused on
+message construction and aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn.sparse import SparseMatrix
+
+__all__ = [
+    "row_normalise",
+    "symmetric_normalise",
+    "add_self_loops",
+    "bipartite_block_matrix",
+]
+
+
+def row_normalise(matrix: sp.spmatrix) -> SparseMatrix:
+    """``D^{-1} A`` — each row of the output sums to one (mean aggregation)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return SparseMatrix(sp.diags(inv) @ matrix)
+
+
+def symmetric_normalise(matrix: sp.spmatrix) -> SparseMatrix:
+    """``D^{-1/2} A D^{-1/2}`` — the GCN/NGCF propagation operator."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("symmetric normalisation requires a square matrix")
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    d_inv = sp.diags(inv_sqrt)
+    return SparseMatrix(d_inv @ matrix @ d_inv)
+
+
+def add_self_loops(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Return ``A + I`` (square matrices only)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("self loops require a square matrix")
+    return (matrix + sp.eye(matrix.shape[0], format="csr")).tocsr()
+
+
+def bipartite_block_matrix(symptom_to_herb: sp.spmatrix) -> sp.csr_matrix:
+    """Assemble the ``(S+H) x (S+H)`` block matrix ``[[0, A], [A^T, 0]]``."""
+    symptom_to_herb = sp.csr_matrix(symptom_to_herb, dtype=np.float64)
+    num_symptoms, num_herbs = symptom_to_herb.shape
+    upper = sp.hstack([sp.csr_matrix((num_symptoms, num_symptoms)), symptom_to_herb])
+    lower = sp.hstack([symptom_to_herb.T, sp.csr_matrix((num_herbs, num_herbs))])
+    return sp.vstack([upper, lower]).tocsr()

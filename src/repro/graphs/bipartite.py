@@ -1,0 +1,154 @@
+"""The symptom-herb bipartite interaction graph (paper Section IV-A-1).
+
+An edge ``(s, h)`` exists when symptom ``s`` and herb ``h`` co-occur in at
+least one prescription.  The graph is undirected; we store the symptom-to-herb
+incidence matrix ``SH`` (shape ``num_symptoms x num_herbs``) and derive the
+herb-to-symptom direction by transposition.  Row-normalised variants implement
+the mean neighbourhood aggregation of Eqs. (2)-(3), and symmetric
+normalisation supports the NGCF/GC-MC baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data.prescriptions import PrescriptionDataset
+from ..nn.sparse import SparseMatrix
+
+__all__ = ["SymptomHerbGraph"]
+
+
+class SymptomHerbGraph:
+    """Binary symptom-herb adjacency with the normalisations the models need."""
+
+    def __init__(self, adjacency: sp.spmatrix, num_symptoms: int, num_herbs: int) -> None:
+        adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+        if adjacency.shape != (num_symptoms, num_herbs):
+            raise ValueError(
+                f"adjacency shape {adjacency.shape} does not match "
+                f"({num_symptoms}, {num_herbs})"
+            )
+        adjacency.data = np.ones_like(adjacency.data)
+        self._adjacency = adjacency
+        self.num_symptoms = num_symptoms
+        self.num_herbs = num_herbs
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: PrescriptionDataset) -> "SymptomHerbGraph":
+        """Build the graph from every (symptom, herb) pair sharing a prescription."""
+        rows = []
+        cols = []
+        for prescription in dataset:
+            for symptom in prescription.symptoms:
+                for herb in prescription.herbs:
+                    rows.append(symptom)
+                    cols.append(herb)
+        data = np.ones(len(rows), dtype=np.float64)
+        adjacency = sp.coo_matrix(
+            (data, (rows, cols)), shape=(dataset.num_symptoms, dataset.num_herbs)
+        ).tocsr()
+        adjacency.sum_duplicates()
+        return cls(adjacency, dataset.num_symptoms, dataset.num_herbs)
+
+    # ------------------------------------------------------------------
+    # Raw adjacency access
+    # ------------------------------------------------------------------
+    @property
+    def symptom_to_herb(self) -> SparseMatrix:
+        """Binary ``num_symptoms x num_herbs`` adjacency (symptom rows)."""
+        return SparseMatrix(self._adjacency)
+
+    @property
+    def herb_to_symptom(self) -> SparseMatrix:
+        """Binary ``num_herbs x num_symptoms`` adjacency (herb rows)."""
+        return SparseMatrix(self._adjacency.T)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._adjacency.nnz)
+
+    def symptom_degrees(self) -> np.ndarray:
+        """Number of distinct herbs each symptom is connected to."""
+        return np.asarray(self._adjacency.sum(axis=1)).ravel()
+
+    def herb_degrees(self) -> np.ndarray:
+        """Number of distinct symptoms each herb is connected to."""
+        return np.asarray(self._adjacency.sum(axis=0)).ravel()
+
+    def density(self) -> float:
+        """Fraction of possible symptom-herb edges that are present."""
+        possible = self.num_symptoms * self.num_herbs
+        return self.num_edges / possible if possible else 0.0
+
+    # ------------------------------------------------------------------
+    # Normalised operators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _row_normalise(matrix: sp.spmatrix) -> sp.csr_matrix:
+        matrix = sp.csr_matrix(matrix, dtype=np.float64)
+        degrees = np.asarray(matrix.sum(axis=1)).ravel()
+        inv = np.zeros_like(degrees)
+        nonzero = degrees > 0
+        inv[nonzero] = 1.0 / degrees[nonzero]
+        return sp.diags(inv) @ matrix
+
+    def mean_aggregator_symptom(self) -> SparseMatrix:
+        """Row-normalised symptom->herb operator: averages herb neighbours per symptom.
+
+        Implements ``1/|N_s| sum_{h in N_s}`` from Eq. (2).
+        """
+        return SparseMatrix(self._row_normalise(self._adjacency))
+
+    def mean_aggregator_herb(self) -> SparseMatrix:
+        """Row-normalised herb->symptom operator: averages symptom neighbours per herb.
+
+        Implements ``1/|N_h| sum_{s in N_h}`` from Eq. (3).
+        """
+        return SparseMatrix(self._row_normalise(self._adjacency.T))
+
+    def symmetric_normalised(self, add_self_loops: bool = False) -> SparseMatrix:
+        """Symmetric-normalised full bipartite adjacency over symptom+herb nodes.
+
+        Returns the ``(S+H) x (S+H)`` operator ``D^{-1/2} A D^{-1/2}`` used by
+        NGCF/GC-MC-style propagation, with optional self loops.
+        """
+        total = self.num_symptoms + self.num_herbs
+        upper = sp.hstack(
+            [sp.csr_matrix((self.num_symptoms, self.num_symptoms)), self._adjacency]
+        )
+        lower = sp.hstack(
+            [self._adjacency.T, sp.csr_matrix((self.num_herbs, self.num_herbs))]
+        )
+        full = sp.vstack([upper, lower]).tocsr()
+        if add_self_loops:
+            full = full + sp.eye(total, format="csr")
+        degrees = np.asarray(full.sum(axis=1)).ravel()
+        inv_sqrt = np.zeros_like(degrees)
+        nonzero = degrees > 0
+        inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+        d_inv = sp.diags(inv_sqrt)
+        return SparseMatrix(d_inv @ full @ d_inv)
+
+    def symptom_neighbors(self, symptom_id: int) -> np.ndarray:
+        """Herb ids adjacent to ``symptom_id``."""
+        if not 0 <= symptom_id < self.num_symptoms:
+            raise ValueError(f"symptom id {symptom_id} out of range")
+        return self._adjacency[symptom_id].indices.copy()
+
+    def herb_neighbors(self, herb_id: int) -> np.ndarray:
+        """Symptom ids adjacent to ``herb_id``."""
+        if not 0 <= herb_id < self.num_herbs:
+            raise ValueError(f"herb id {herb_id} out of range")
+        return self._adjacency.T.tocsr()[herb_id].indices.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SymptomHerbGraph(symptoms={self.num_symptoms}, herbs={self.num_herbs}, "
+            f"edges={self.num_edges})"
+        )

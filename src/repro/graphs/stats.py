@@ -1,0 +1,83 @@
+"""Degree statistics used in the paper's density argument (Section IV-B-2).
+
+The paper motivates the *sum* aggregator for synergy graphs by noting the
+symptom-herb graph is much denser than the synergy graphs and has a more
+spread-out degree distribution.  These helpers compute the numbers so the
+argument can be checked on any corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .bipartite import SymptomHerbGraph
+from .synergy import SynergyGraph
+
+__all__ = ["DegreeSummary", "summarise_degrees", "graph_comparison"]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Mean / standard deviation / extrema of a degree sequence."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    mean_degree: float
+    std_degree: float
+    max_degree: int
+    min_degree: int
+    isolated_nodes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "graph": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "mean degree": round(self.mean_degree, 2),
+            "std degree": round(self.std_degree, 2),
+            "max degree": self.max_degree,
+            "min degree": self.min_degree,
+            "isolated nodes": self.isolated_nodes,
+        }
+
+
+def summarise_degrees(name: str, degrees: np.ndarray, num_edges: int) -> DegreeSummary:
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if degrees.size == 0:
+        return DegreeSummary(name, 0, 0, 0.0, 0.0, 0, 0, 0)
+    return DegreeSummary(
+        name=name,
+        num_nodes=int(degrees.size),
+        num_edges=int(num_edges),
+        mean_degree=float(degrees.mean()),
+        std_degree=float(degrees.std()),
+        max_degree=int(degrees.max()),
+        min_degree=int(degrees.min()),
+        isolated_nodes=int(np.sum(degrees == 0)),
+    )
+
+
+def graph_comparison(
+    bipartite: SymptomHerbGraph,
+    symptom_synergy: SynergyGraph,
+    herb_synergy: SynergyGraph,
+) -> Dict[str, DegreeSummary]:
+    """Summaries for the three graphs SMGCN consumes, keyed by graph name."""
+    return {
+        "symptom-herb (symptom side)": summarise_degrees(
+            "symptom-herb (symptom side)", bipartite.symptom_degrees(), bipartite.num_edges
+        ),
+        "symptom-herb (herb side)": summarise_degrees(
+            "symptom-herb (herb side)", bipartite.herb_degrees(), bipartite.num_edges
+        ),
+        "symptom-symptom": summarise_degrees(
+            "symptom-symptom", symptom_synergy.degrees(), symptom_synergy.num_edges
+        ),
+        "herb-herb": summarise_degrees(
+            "herb-herb", herb_synergy.degrees(), herb_synergy.num_edges
+        ),
+    }

@@ -1,0 +1,37 @@
+"""Herb-recommendation models: SMGCN (the paper's contribution), its ablation
+sub-models, and every baseline from the evaluation section."""
+
+from .base import GraphHerbRecommender, HerbRecommender
+from .components import BiparGCN, SyndromeInduction, SynergyGraphEncoder
+from .gcmc import GCMC, GCMCConfig
+from .hc_kgetm import HCKGETM, HCKGETMConfig
+from .hetegcn import HeteGCN, HeteGCNConfig
+from .ngcf import NGCF, NGCFConfig
+from .pinsage import PinSage, PinSageConfig
+from .popularity import CooccurrenceRecommender, PopularityRecommender
+from .smgcn import SMGCN, SMGCNConfig
+from .transe import TransE, TransEConfig
+
+__all__ = [
+    "HerbRecommender",
+    "GraphHerbRecommender",
+    "BiparGCN",
+    "SynergyGraphEncoder",
+    "SyndromeInduction",
+    "SMGCN",
+    "SMGCNConfig",
+    "GCMC",
+    "GCMCConfig",
+    "PinSage",
+    "PinSageConfig",
+    "NGCF",
+    "NGCFConfig",
+    "HeteGCN",
+    "HeteGCNConfig",
+    "HCKGETM",
+    "HCKGETMConfig",
+    "TransE",
+    "TransEConfig",
+    "PopularityRecommender",
+    "CooccurrenceRecommender",
+]

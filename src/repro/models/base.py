@@ -1,0 +1,107 @@
+"""Common interfaces shared by every herb recommender in this package.
+
+Two families of models exist:
+
+* neural graph models (SMGCN and the GNN baselines) — subclasses of
+  :class:`GraphHerbRecommender`, trained by :class:`repro.training.Trainer`;
+* count/topic-model baselines (popularity, HC-KGETM) — they only need to
+  implement :class:`HerbRecommender`'s scoring protocol and provide their own
+  ``fit``.
+
+The evaluation harness talks exclusively to the :class:`HerbRecommender`
+protocol: ``score_sets`` maps a list of symptom-id sets to a matrix of herb
+scores, from which top-k recommendations and the ranking metrics follow.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Module, Tensor, no_grad
+
+__all__ = ["HerbRecommender", "GraphHerbRecommender"]
+
+
+class HerbRecommender(abc.ABC):
+    """Protocol every herb recommender exposes to the evaluator."""
+
+    @property
+    @abc.abstractmethod
+    def num_herbs(self) -> int:
+        """Size of the herb vocabulary being scored."""
+
+    @abc.abstractmethod
+    def score_sets(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Return an ``(len(symptom_sets), num_herbs)`` matrix of herb scores."""
+
+    def recommend(self, symptom_set: Sequence[int], k: int = 20) -> List[int]:
+        """Greedy top-``k`` herb ids for one symptom set (paper's inference rule)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scores = self.score_sets([tuple(symptom_set)])[0]
+        k = min(k, scores.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        return top[np.argsort(-scores[top])].tolist()
+
+
+class GraphHerbRecommender(Module, HerbRecommender):
+    """Base class for the neural graph recommenders.
+
+    Subclasses implement :meth:`encode`, producing one embedding per symptom
+    and one per herb; the shared prediction layer (syndrome induction +
+    inner product with all herb embeddings) is implemented here so that every
+    model is compared under exactly the same interaction-modelling regime, as
+    in the paper's "fair comparison" protocol.
+    """
+
+    def __init__(self, num_symptoms: int, num_herbs: int) -> None:
+        super().__init__()
+        if num_symptoms <= 0 or num_herbs <= 0:
+            raise ValueError("vocabulary sizes must be positive")
+        self._num_symptoms = num_symptoms
+        self._num_herbs = num_herbs
+
+    # ------------------------------------------------------------------
+    # Protocol properties
+    # ------------------------------------------------------------------
+    @property
+    def num_symptoms(self) -> int:
+        return self._num_symptoms
+
+    @property
+    def num_herbs(self) -> int:
+        return self._num_herbs
+
+    # ------------------------------------------------------------------
+    # To be provided by subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def encode(self) -> Tuple[Tensor, Tensor]:
+        """Return ``(symptom_embeddings, herb_embeddings)`` for all nodes."""
+
+    @abc.abstractmethod
+    def induce_syndrome(self, symptom_embeddings: Tensor, symptom_sets: Sequence[Sequence[int]]) -> Tensor:
+        """Pool per-set symptom embeddings into syndrome representations."""
+
+    # ------------------------------------------------------------------
+    # Shared prediction layer
+    # ------------------------------------------------------------------
+    def forward(self, symptom_sets: Sequence[Sequence[int]]) -> Tensor:
+        """Scores for every herb given each symptom set (Eq. 13's ``g``)."""
+        symptom_embeddings, herb_embeddings = self.encode()
+        syndrome = self.induce_syndrome(symptom_embeddings, symptom_sets)
+        return syndrome @ herb_embeddings.T
+
+    def score_sets(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Evaluation-mode scoring: no dropout, no autograd graph."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                scores = self.forward(symptom_sets).data.copy()
+        finally:
+            self.train(was_training)
+        return scores

@@ -1,0 +1,7 @@
+"""Reusable model components: Bipar-GCN, Synergy Graph Encoding, Syndrome Induction."""
+
+from .bipar_gcn import BiparGCN
+from .sge import SynergyGraphEncoder
+from .syndrome import SyndromeInduction
+
+__all__ = ["BiparGCN", "SynergyGraphEncoder", "SyndromeInduction"]

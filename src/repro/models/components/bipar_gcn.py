@@ -1,0 +1,121 @@
+"""Bipar-GCN: bipartite graph convolution with type-specific weights.
+
+Paper Section IV-A.  The encoder runs two towers over the same symptom-herb
+topology:
+
+* the **symptom-oriented** tower produces representations for symptom nodes by
+  aggregating messages from their herb neighbours (Eqs. 1-2, 4, 8-9);
+* the **herb-oriented** tower produces representations for herb nodes by
+  aggregating messages from their symptom neighbours (Eqs. 3, 5-7).
+
+Each tower has its own per-layer transformation matrix ``T^k`` (applied to the
+neighbour embeddings before mean pooling) and aggregation matrix ``W^k``
+(applied to the concatenation of the target node's previous representation and
+the pooled neighbourhood message), which is exactly what distinguishes
+Bipar-GCN from a shared-weight GraphSAGE/PinSage encoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...graphs.bipartite import SymptomHerbGraph
+from ...nn import Dropout, Linear, Module, Tensor, concat
+
+__all__ = ["BiparGCN"]
+
+
+class BiparGCN(Module):
+    """Two-tower bipartite GCN producing symptom and herb embeddings."""
+
+    def __init__(
+        self,
+        graph: SymptomHerbGraph,
+        embedding_dim: int,
+        layer_dims: Sequence[int],
+        message_dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if not layer_dims:
+            raise ValueError("at least one GCN layer is required")
+        self.graph = graph
+        self.embedding_dim = embedding_dim
+        self.layer_dims = list(layer_dims)
+        self.output_dim = self.layer_dims[-1]
+        rng = rng if rng is not None else np.random.default_rng()
+
+        # Fixed propagation operators (1/|N| sums as sparse matrices).
+        self._symptom_aggregator = graph.mean_aggregator_symptom()  # S x H
+        self._herb_aggregator = graph.mean_aggregator_herb()        # H x S
+
+        # Per-layer, per-tower weights.  T^k transforms neighbour features
+        # before pooling (square in the feature dimension of layer k-1);
+        # W^k maps the concatenation [self || pooled] to the layer-k dimension.
+        input_dims = [embedding_dim] + self.layer_dims[:-1]
+        self._symptom_transforms: List[Linear] = []
+        self._herb_transforms: List[Linear] = []
+        self._symptom_aggregations: List[Linear] = []
+        self._herb_aggregations: List[Linear] = []
+        for layer_index, (in_dim, out_dim) in enumerate(zip(input_dims, self.layer_dims)):
+            t_s = Linear(in_dim, in_dim, bias=False, rng=rng)
+            t_h = Linear(in_dim, in_dim, bias=False, rng=rng)
+            w_s = Linear(2 * in_dim, out_dim, bias=False, rng=rng)
+            w_h = Linear(2 * in_dim, out_dim, bias=False, rng=rng)
+            setattr(self, f"symptom_transform_{layer_index}", t_s)
+            setattr(self, f"herb_transform_{layer_index}", t_h)
+            setattr(self, f"symptom_aggregation_{layer_index}", w_s)
+            setattr(self, f"herb_aggregation_{layer_index}", w_h)
+            self._symptom_transforms.append(t_s)
+            self._herb_transforms.append(t_h)
+            self._symptom_aggregations.append(w_s)
+            self._herb_aggregations.append(w_h)
+        self.message_dropout = Dropout(message_dropout, rng=rng)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_dims)
+
+    def forward(self, symptom_features: Tensor, herb_features: Tensor) -> Tuple[Tensor, Tensor]:
+        """Propagate initial node features through ``num_layers`` layers.
+
+        ``symptom_features`` has shape ``(num_symptoms, embedding_dim)`` and
+        ``herb_features`` has shape ``(num_herbs, embedding_dim)``; the outputs
+        have the final layer dimension.
+        """
+        if symptom_features.shape != (self.graph.num_symptoms, self.embedding_dim):
+            raise ValueError(
+                f"symptom features shape {symptom_features.shape} does not match "
+                f"({self.graph.num_symptoms}, {self.embedding_dim})"
+            )
+        if herb_features.shape != (self.graph.num_herbs, self.embedding_dim):
+            raise ValueError(
+                f"herb features shape {herb_features.shape} does not match "
+                f"({self.graph.num_herbs}, {self.embedding_dim})"
+            )
+        symptoms = symptom_features
+        herbs = herb_features
+        for layer_index in range(self.num_layers):
+            # Messages to symptoms: herb features transformed by T_s, mean-pooled
+            # over each symptom's herb neighbourhood (Eqs. 1-2 / 9).
+            herb_messages = self._symptom_transforms[layer_index](herbs)
+            symptom_neighbourhood = (self._symptom_aggregator @ herb_messages).tanh()
+            symptom_neighbourhood = self.message_dropout(symptom_neighbourhood)
+
+            # Messages to herbs: symptom features transformed by T_h (Eqs. 3 / 7).
+            symptom_messages = self._herb_transforms[layer_index](symptoms)
+            herb_neighbourhood = (self._herb_aggregator @ symptom_messages).tanh()
+            herb_neighbourhood = self.message_dropout(herb_neighbourhood)
+
+            # GraphSAGE-style aggregation with type-specific W (Eqs. 4-6 / 8).
+            symptoms = self._symptom_aggregations[layer_index](
+                concat([symptoms, symptom_neighbourhood], axis=1)
+            ).tanh()
+            herbs = self._herb_aggregations[layer_index](
+                concat([herbs, herb_neighbourhood], axis=1)
+            ).tanh()
+        return symptoms, herbs

@@ -1,0 +1,68 @@
+"""Synergy Graph Encoding (SGE) — paper Section IV-B.
+
+One-layer graph convolutions over the symptom-symptom and herb-herb
+co-occurrence graphs.  The paper deliberately uses a *sum* aggregator (no
+degree normalisation) so that the resulting embeddings are on a comparable
+scale to the Bipar-GCN output when the two are fused by addition; a mean
+aggregator is also provided as an ablation switch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...graphs.adjacency import row_normalise
+from ...graphs.synergy import SynergyGraph
+from ...nn import Linear, Module, Tensor
+
+__all__ = ["SynergyGraphEncoder"]
+
+
+class SynergyGraphEncoder(Module):
+    """Encode co-occurrence synergy into symptom and herb embeddings (Eq. 10)."""
+
+    def __init__(
+        self,
+        symptom_graph: SynergyGraph,
+        herb_graph: SynergyGraph,
+        embedding_dim: int,
+        output_dim: int,
+        aggregator: str = "sum",
+        init_gain: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if embedding_dim <= 0 or output_dim <= 0:
+            raise ValueError("embedding and output dimensions must be positive")
+        if aggregator not in ("sum", "mean"):
+            raise ValueError(f"aggregator must be 'sum' or 'mean', got {aggregator!r}")
+        if init_gain <= 0:
+            raise ValueError("init_gain must be positive")
+        self.aggregator = aggregator
+        self.embedding_dim = embedding_dim
+        self.output_dim = output_dim
+        self.init_gain = init_gain
+        if aggregator == "sum":
+            self._symptom_operator = symptom_graph.adjacency
+            self._herb_operator = herb_graph.adjacency
+        else:
+            self._symptom_operator = row_normalise(symptom_graph.adjacency.scipy)
+            self._herb_operator = row_normalise(herb_graph.adjacency.scipy)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.symptom_weight = Linear(embedding_dim, output_dim, bias=False, rng=rng)
+        self.herb_weight = Linear(embedding_dim, output_dim, bias=False, rng=rng)
+        # The paper fuses SGE output with the Bipar-GCN output by plain addition
+        # (Eq. 11) but does not specify how V_s / V_h are initialised.  Starting
+        # them small makes the synergy term a gentle refinement of the Bipar-GCN
+        # embedding early in training instead of overpowering it, which we found
+        # necessary for the fusion to help rather than hurt.
+        self.symptom_weight.weight.data *= init_gain
+        self.herb_weight.weight.data *= init_gain
+
+    def forward(self, symptom_features: Tensor, herb_features: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(r_s, r_h)`` — synergy embeddings for all symptoms and herbs."""
+        symptom_synergy = (self._symptom_operator @ self.symptom_weight(symptom_features)).tanh()
+        herb_synergy = (self._herb_operator @ self.herb_weight(herb_features)).tanh()
+        return symptom_synergy, herb_synergy

@@ -1,0 +1,60 @@
+"""Syndrome Induction (SI) — paper Section IV-D.
+
+Given the embeddings of all symptoms in a query set, produce one overall
+"implicit syndrome" representation: average pooling followed by a single-layer
+MLP with ReLU (Eq. 12).  The MLP can be switched off to obtain the
+average-pooling-only variant used by the Bipar-GCN ablation and by HeteGCN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...nn import Linear, Module, Tensor, scatter_mean
+
+__all__ = ["SyndromeInduction"]
+
+
+class SyndromeInduction(Module):
+    """Pool a variable-size symptom set into one syndrome embedding."""
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        use_mlp: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        self.embedding_dim = embedding_dim
+        self.use_mlp = use_mlp
+        if use_mlp:
+            self.mlp = Linear(embedding_dim, embedding_dim, bias=True, activation="relu", rng=rng)
+        else:
+            self.mlp = None
+
+    def forward(self, symptom_embeddings: Tensor, symptom_sets: Sequence[Sequence[int]]) -> Tensor:
+        """Return a ``(len(symptom_sets), embedding_dim)`` syndrome matrix.
+
+        ``symptom_embeddings`` holds one row per symptom in the vocabulary;
+        each entry of ``symptom_sets`` lists the symptom ids of one
+        prescription.  Mean pooling is batched through a single sparse-like
+        pooling matmul so the whole batch is induced in one pass.
+        """
+        if symptom_embeddings.shape[1] != self.embedding_dim:
+            raise ValueError(
+                f"symptom embeddings have dim {symptom_embeddings.shape[1]}, "
+                f"expected {self.embedding_dim}"
+            )
+        if len(symptom_sets) == 0:
+            raise ValueError("symptom_sets must contain at least one set")
+        for i, symptom_set in enumerate(symptom_sets):
+            if len(symptom_set) == 0:
+                raise ValueError(f"symptom set {i} is empty")
+        pooled = scatter_mean(symptom_embeddings, symptom_sets)
+        if self.mlp is None:
+            return pooled
+        return self.mlp(pooled)

@@ -1,0 +1,136 @@
+"""HeteGCN — the paper's own heterogeneous-graph baseline (Section V-C).
+
+HeteGCN merges the symptom-herb, symptom-symptom and herb-herb graphs into a
+single heterogeneous graph.  Every node sees two neighbour *types* (symptom
+neighbours and herb neighbours); per type the neighbour embeddings are
+transformed and mean-pooled, then a type-level attention network (Eq. 19-20)
+weights the two pooled messages before the GraphSAGE-style aggregation of
+Eq. (4).  Symptom and herb nodes *share* the network parameters, the depth is
+one layer with a 128-dimensional output, and syndrome induction is plain
+average pooling (no MLP) — all per the paper's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..graphs.adjacency import row_normalise
+from ..graphs.bipartite import SymptomHerbGraph
+from ..graphs.synergy import SynergyGraph, build_herb_synergy_graph, build_symptom_synergy_graph
+from ..nn import Dropout, Embedding, Linear, Tensor, concat, softmax
+from .base import GraphHerbRecommender
+from .components import SyndromeInduction
+
+__all__ = ["HeteGCNConfig", "HeteGCN"]
+
+
+@dataclass
+class HeteGCNConfig:
+    """HeteGCN hyper-parameters (1 layer, hidden 128, thresholds as Table III)."""
+
+    embedding_dim: int = 64
+    hidden_dim: int = 128
+    attention_dim: int = 32
+    symptom_threshold: float = 5
+    herb_threshold: float = 40
+    message_dropout: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0 or self.hidden_dim <= 0 or self.attention_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if not 0.0 <= self.message_dropout < 1.0:
+            raise ValueError("message_dropout must be in [0, 1)")
+
+
+class HeteGCN(GraphHerbRecommender):
+    """Heterogeneous GCN with type attention over a merged multi-relation graph."""
+
+    def __init__(
+        self,
+        bipartite_graph: SymptomHerbGraph,
+        symptom_synergy: SynergyGraph,
+        herb_synergy: SynergyGraph,
+        config: Optional[HeteGCNConfig] = None,
+    ) -> None:
+        config = config if config is not None else HeteGCNConfig()
+        super().__init__(bipartite_graph.num_symptoms, bipartite_graph.num_herbs)
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+
+        # Mean aggregation operators for every (target type, neighbour type) pair.
+        self._symptom_from_herb = bipartite_graph.mean_aggregator_symptom()
+        self._herb_from_symptom = bipartite_graph.mean_aggregator_herb()
+        self._symptom_from_symptom = row_normalise(symptom_synergy.adjacency.scipy)
+        self._herb_from_herb = row_normalise(herb_synergy.adjacency.scipy)
+
+        dim = config.embedding_dim
+        self.symptom_embedding = Embedding(self.num_symptoms, dim, rng=rng)
+        self.herb_embedding = Embedding(self.num_herbs, dim, rng=rng)
+        # Shared (across node types) message transformation and aggregation.
+        self.message_transform = Linear(dim, dim, bias=False, rng=rng)
+        self.aggregation = Linear(2 * dim, config.hidden_dim, bias=False, rng=rng)
+        # Type attention network: W_att over [self || pooled message], scored by z.
+        self.attention_weight = Linear(2 * dim, config.attention_dim, bias=True, rng=rng)
+        self.attention_vector = Linear(config.attention_dim, 1, bias=False, rng=rng)
+        self.message_dropout = Dropout(config.message_dropout, rng=rng)
+        self.syndrome_induction = SyndromeInduction(config.hidden_dim, use_mlp=False, rng=rng)
+
+    @classmethod
+    def from_dataset(cls, dataset: PrescriptionDataset, config: Optional[HeteGCNConfig] = None) -> "HeteGCN":
+        config = config if config is not None else HeteGCNConfig()
+        bipartite = SymptomHerbGraph.from_dataset(dataset)
+        symptom_synergy = build_symptom_synergy_graph(dataset, threshold=config.symptom_threshold)
+        herb_synergy = build_herb_synergy_graph(dataset, threshold=config.herb_threshold)
+        return cls(bipartite, symptom_synergy, herb_synergy, config)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _type_attention(self, self_features: Tensor, typed_messages: Sequence[Tensor]) -> Tensor:
+        """Combine per-type pooled messages with node-level attention (Eq. 19-20)."""
+        scores = []
+        for message in typed_messages:
+            hidden = self.attention_weight(concat([self_features, message], axis=1)).relu()
+            scores.append(self.attention_vector(hidden))
+        score_matrix = concat(scores, axis=1)              # (nodes, num_types)
+        weights = softmax(score_matrix, axis=1)
+        combined = None
+        for type_index, message in enumerate(typed_messages):
+            weight_column = weights[:, type_index : type_index + 1]
+            term = message * weight_column
+            combined = term if combined is None else combined + term
+        return combined.tanh()
+
+    def encode(self) -> Tuple[Tensor, Tensor]:
+        symptoms = self.symptom_embedding.all()
+        herbs = self.herb_embedding.all()
+        symptom_messages = self.message_transform(symptoms)
+        herb_messages = self.message_transform(herbs)
+
+        # Per-type pooled messages for symptom targets.
+        symptom_from_herb = self._symptom_from_herb @ herb_messages
+        symptom_from_symptom = self._symptom_from_symptom @ symptom_messages
+        symptom_neighbourhood = self._type_attention(
+            symptoms, [symptom_from_symptom, symptom_from_herb]
+        )
+        symptom_neighbourhood = self.message_dropout(symptom_neighbourhood)
+
+        # Per-type pooled messages for herb targets.
+        herb_from_symptom = self._herb_from_symptom @ symptom_messages
+        herb_from_herb = self._herb_from_herb @ herb_messages
+        herb_neighbourhood = self._type_attention(herbs, [herb_from_herb, herb_from_symptom])
+        herb_neighbourhood = self.message_dropout(herb_neighbourhood)
+
+        symptom_out = self.aggregation(concat([symptoms, symptom_neighbourhood], axis=1)).tanh()
+        herb_out = self.aggregation(concat([herbs, herb_neighbourhood], axis=1)).tanh()
+        return symptom_out, herb_out
+
+    def induce_syndrome(
+        self, symptom_embeddings: Tensor, symptom_sets: Sequence[Sequence[int]]
+    ) -> Tensor:
+        return self.syndrome_induction(symptom_embeddings, symptom_sets)

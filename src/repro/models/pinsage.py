@@ -1,0 +1,98 @@
+"""PinSage baseline (Ying et al., 2018) adapted to the symptom-herb graph.
+
+PinSage is GraphSAGE at industrial scale: per layer, a node's new
+representation is a learned transformation of the concatenation of its own
+previous representation and the mean-pooled (transformed) representations of
+its neighbours.  Unlike Bipar-GCN, the transformation and aggregation weights
+are *shared* between symptom and herb nodes, which is precisely the design
+difference the paper isolates (Tables IV-V).  Per the paper's setup the model
+has two convolution layers whose hidden width equals the embedding size, and
+is extended with Syndrome Induction + multi-label loss for fair comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..graphs.bipartite import SymptomHerbGraph
+from ..nn import Dropout, Embedding, Linear, Tensor, concat
+from .base import GraphHerbRecommender
+from .components import SyndromeInduction
+
+__all__ = ["PinSageConfig", "PinSage"]
+
+
+@dataclass
+class PinSageConfig:
+    """PinSage hyper-parameters (two layers, hidden width = embedding size)."""
+
+    embedding_dim: int = 64
+    num_layers: int = 2
+    message_dropout: float = 0.0
+    use_syndrome_mlp: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if not 0.0 <= self.message_dropout < 1.0:
+            raise ValueError("message_dropout must be in [0, 1)")
+
+
+class PinSage(GraphHerbRecommender):
+    """Shared-weight GraphSAGE (concat aggregator) over the bipartite graph."""
+
+    def __init__(self, graph: SymptomHerbGraph, config: Optional[PinSageConfig] = None) -> None:
+        config = config if config is not None else PinSageConfig()
+        super().__init__(graph.num_symptoms, graph.num_herbs)
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.graph = graph
+        self._symptom_aggregator = graph.mean_aggregator_symptom()
+        self._herb_aggregator = graph.mean_aggregator_herb()
+        self.symptom_embedding = Embedding(self.num_symptoms, config.embedding_dim, rng=rng)
+        self.herb_embedding = Embedding(self.num_herbs, config.embedding_dim, rng=rng)
+
+        dim = config.embedding_dim
+        self._transforms: List[Linear] = []
+        self._aggregations: List[Linear] = []
+        for layer_index in range(config.num_layers):
+            transform = Linear(dim, dim, bias=False, rng=rng)
+            aggregation = Linear(2 * dim, dim, bias=False, rng=rng)
+            setattr(self, f"transform_{layer_index}", transform)
+            setattr(self, f"aggregation_{layer_index}", aggregation)
+            self._transforms.append(transform)
+            self._aggregations.append(aggregation)
+        self.message_dropout = Dropout(config.message_dropout, rng=rng)
+        self.syndrome_induction = SyndromeInduction(dim, use_mlp=config.use_syndrome_mlp, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: PrescriptionDataset, config: Optional[PinSageConfig] = None
+    ) -> "PinSage":
+        return cls(SymptomHerbGraph.from_dataset(dataset), config)
+
+    def encode(self) -> Tuple[Tensor, Tensor]:
+        symptoms = self.symptom_embedding.all()
+        herbs = self.herb_embedding.all()
+        for layer_index in range(self.config.num_layers):
+            transform = self._transforms[layer_index]
+            aggregation = self._aggregations[layer_index]
+            symptom_neighbourhood = (self._symptom_aggregator @ transform(herbs)).tanh()
+            herb_neighbourhood = (self._herb_aggregator @ transform(symptoms)).tanh()
+            symptom_neighbourhood = self.message_dropout(symptom_neighbourhood)
+            herb_neighbourhood = self.message_dropout(herb_neighbourhood)
+            symptoms = aggregation(concat([symptoms, symptom_neighbourhood], axis=1)).tanh()
+            herbs = aggregation(concat([herbs, herb_neighbourhood], axis=1)).tanh()
+        return symptoms, herbs
+
+    def induce_syndrome(
+        self, symptom_embeddings: Tensor, symptom_sets: Sequence[Sequence[int]]
+    ) -> Tensor:
+        return self.syndrome_induction(symptom_embeddings, symptom_sets)

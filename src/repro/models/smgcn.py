@@ -1,0 +1,223 @@
+"""SMGCN — Syndrome-aware Multi-Graph Convolution Network (the paper's model).
+
+The full model (Sections III-IV) combines three components on top of shared
+initial symptom/herb embedding tables:
+
+1. :class:`~repro.models.components.BiparGCN` over the symptom-herb graph
+   (type-specific weights per side);
+2. :class:`~repro.models.components.SynergyGraphEncoder` over the
+   symptom-symptom and herb-herb co-occurrence graphs, fused with the
+   Bipar-GCN output by addition (Eq. 11);
+3. :class:`~repro.models.components.SyndromeInduction` — mean pooling + MLP —
+   whose output is matched against every herb embedding by inner product.
+
+The ablation sub-models of Table V are obtained through the ``use_synergy``
+and ``use_syndrome_mlp`` switches (classmethod constructors are provided for
+readability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..graphs.bipartite import SymptomHerbGraph
+from ..graphs.synergy import SynergyGraph, build_herb_synergy_graph, build_symptom_synergy_graph
+from ..nn import Embedding, Tensor
+from .base import GraphHerbRecommender
+from .components import BiparGCN, SynergyGraphEncoder, SyndromeInduction
+
+__all__ = ["SMGCNConfig", "SMGCN"]
+
+
+@dataclass
+class SMGCNConfig:
+    """Hyper-parameters of SMGCN (defaults follow Table III / Section V-D)."""
+
+    embedding_dim: int = 64
+    layer_dims: Sequence[int] = (128, 256)
+    message_dropout: float = 0.0
+    symptom_threshold: float = 5
+    herb_threshold: float = 40
+    use_synergy: bool = True
+    use_syndrome_mlp: bool = True
+    synergy_aggregator: str = "sum"
+    synergy_init_gain: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.layer_dims = tuple(int(d) for d in self.layer_dims)
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if not self.layer_dims:
+            raise ValueError("layer_dims must contain at least one layer")
+        if not 0.0 <= self.message_dropout < 1.0:
+            raise ValueError("message_dropout must be in [0, 1)")
+
+    @property
+    def output_dim(self) -> int:
+        return self.layer_dims[-1]
+
+
+class SMGCN(GraphHerbRecommender):
+    """The Syndrome-aware Multi-Graph Convolution Network."""
+
+    def __init__(
+        self,
+        bipartite_graph: SymptomHerbGraph,
+        symptom_synergy: Optional[SynergyGraph],
+        herb_synergy: Optional[SynergyGraph],
+        config: Optional[SMGCNConfig] = None,
+    ) -> None:
+        config = config if config is not None else SMGCNConfig()
+        super().__init__(bipartite_graph.num_symptoms, bipartite_graph.num_herbs)
+        if config.use_synergy and (symptom_synergy is None or herb_synergy is None):
+            raise ValueError("synergy graphs are required when use_synergy=True")
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+
+        # Shared initial embeddings (Table I: e_s, e_h).
+        self.symptom_embedding = Embedding(self.num_symptoms, config.embedding_dim, rng=rng)
+        self.herb_embedding = Embedding(self.num_herbs, config.embedding_dim, rng=rng)
+
+        self.bipar_gcn = BiparGCN(
+            bipartite_graph,
+            embedding_dim=config.embedding_dim,
+            layer_dims=config.layer_dims,
+            message_dropout=config.message_dropout,
+            rng=rng,
+        )
+        if config.use_synergy:
+            self.synergy_encoder = SynergyGraphEncoder(
+                symptom_synergy,
+                herb_synergy,
+                embedding_dim=config.embedding_dim,
+                output_dim=config.output_dim,
+                aggregator=config.synergy_aggregator,
+                init_gain=config.synergy_init_gain,
+                rng=rng,
+            )
+        else:
+            self.synergy_encoder = None
+        self.syndrome_induction = SyndromeInduction(
+            config.output_dim, use_mlp=config.use_syndrome_mlp, rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(
+        cls, dataset: PrescriptionDataset, config: Optional[SMGCNConfig] = None
+    ) -> "SMGCN":
+        """Build the model and all three graphs from a training corpus."""
+        config = config if config is not None else SMGCNConfig()
+        bipartite = SymptomHerbGraph.from_dataset(dataset)
+        symptom_synergy = None
+        herb_synergy = None
+        if config.use_synergy:
+            symptom_synergy = build_symptom_synergy_graph(dataset, threshold=config.symptom_threshold)
+            herb_synergy = build_herb_synergy_graph(dataset, threshold=config.herb_threshold)
+        return cls(bipartite, symptom_synergy, herb_synergy, config)
+
+    @classmethod
+    def bipar_gcn_only(
+        cls, dataset: PrescriptionDataset, config: Optional[SMGCNConfig] = None, **overrides
+    ) -> "SMGCN":
+        """Table V sub-model "Bipar-GCN": no synergy graphs, mean-pool syndrome."""
+        base = config if config is not None else SMGCNConfig()
+        return cls.from_dataset(
+            dataset,
+            SMGCNConfig(
+                **{
+                    **_config_kwargs(base),
+                    "use_synergy": False,
+                    "use_syndrome_mlp": False,
+                    **overrides,
+                }
+            ),
+        )
+
+    @classmethod
+    def bipar_gcn_with_sge(
+        cls, dataset: PrescriptionDataset, config: Optional[SMGCNConfig] = None, **overrides
+    ) -> "SMGCN":
+        """Table V sub-model "Bipar-GCN w/ SGE": synergy graphs, mean-pool syndrome."""
+        base = config if config is not None else SMGCNConfig()
+        return cls.from_dataset(
+            dataset,
+            SMGCNConfig(
+                **{
+                    **_config_kwargs(base),
+                    "use_synergy": True,
+                    "use_syndrome_mlp": False,
+                    **overrides,
+                }
+            ),
+        )
+
+    @classmethod
+    def bipar_gcn_with_si(
+        cls, dataset: PrescriptionDataset, config: Optional[SMGCNConfig] = None, **overrides
+    ) -> "SMGCN":
+        """Table V sub-model "Bipar-GCN w/ SI": no synergy graphs, MLP syndrome."""
+        base = config if config is not None else SMGCNConfig()
+        return cls.from_dataset(
+            dataset,
+            SMGCNConfig(
+                **{
+                    **_config_kwargs(base),
+                    "use_synergy": False,
+                    "use_syndrome_mlp": True,
+                    **overrides,
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # GraphHerbRecommender implementation
+    # ------------------------------------------------------------------
+    def encode(self) -> Tuple[Tensor, Tensor]:
+        """Multi-graph embedding layer: Bipar-GCN (+ SGE, fused by addition)."""
+        symptom_features = self.symptom_embedding.all()
+        herb_features = self.herb_embedding.all()
+        symptom_bipar, herb_bipar = self.bipar_gcn(symptom_features, herb_features)
+        if self.synergy_encoder is None:
+            return symptom_bipar, herb_bipar
+        symptom_synergy, herb_synergy = self.synergy_encoder(symptom_features, herb_features)
+        return symptom_bipar + symptom_synergy, herb_bipar + herb_synergy
+
+    def induce_syndrome(
+        self, symptom_embeddings: Tensor, symptom_sets: Sequence[Sequence[int]]
+    ) -> Tensor:
+        return self.syndrome_induction(symptom_embeddings, symptom_sets)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A short human-readable description of the active components."""
+        parts: List[str] = ["Bipar-GCN"]
+        if self.synergy_encoder is not None:
+            parts.append("SGE")
+        if self.config.use_syndrome_mlp:
+            parts.append("SI")
+        return " + ".join(parts)
+
+
+def _config_kwargs(config: SMGCNConfig) -> dict:
+    return {
+        "embedding_dim": config.embedding_dim,
+        "layer_dims": config.layer_dims,
+        "message_dropout": config.message_dropout,
+        "symptom_threshold": config.symptom_threshold,
+        "herb_threshold": config.herb_threshold,
+        "use_synergy": config.use_synergy,
+        "use_syndrome_mlp": config.use_syndrome_mlp,
+        "synergy_aggregator": config.synergy_aggregator,
+        "synergy_init_gain": config.synergy_init_gain,
+        "seed": config.seed,
+    }

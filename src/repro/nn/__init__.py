@@ -1,0 +1,77 @@
+"""NumPy deep-learning substrate used by every model in :mod:`repro`.
+
+The public surface mirrors the small subset of a modern deep-learning
+framework that SMGCN and its baselines require:
+
+* :class:`Tensor` / :class:`Parameter` — reverse-mode autograd arrays;
+* :class:`Module` and layers (:class:`Linear`, :class:`Embedding`,
+  :class:`Dropout`, :class:`MLP`);
+* optimisers (:class:`SGD`, :class:`Adam`);
+* loss functions (weighted multi-label MSE, BPR, log-loss, margin loss);
+* sparse adjacency support (:class:`SparseMatrix`, :func:`sparse_matmul`);
+* functional ops (:func:`concat`, :func:`softmax`, :func:`dropout`, ...).
+"""
+
+from . import init
+from .gradcheck import check_gradients, numeric_gradient
+from .layers import MLP, Dropout, Embedding, Identity, Linear
+from .losses import (
+    binary_cross_entropy_with_logits,
+    bpr_loss,
+    herb_frequency_weights,
+    l2_penalty,
+    margin_multilabel_loss,
+    multilabel_mse,
+    weighted_multilabel_mse,
+)
+from .module import Module
+from .ops import (
+    concat,
+    dropout,
+    embedding_lookup,
+    log_softmax,
+    mean_pool_rows,
+    scatter_mean,
+    softmax,
+    stack,
+)
+from .optim import SGD, Adam, Optimizer
+from .sparse import SparseMatrix, sparse_matmul
+from .tensor import Parameter, Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "MLP",
+    "Identity",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "SparseMatrix",
+    "sparse_matmul",
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "embedding_lookup",
+    "mean_pool_rows",
+    "scatter_mean",
+    "herb_frequency_weights",
+    "weighted_multilabel_mse",
+    "multilabel_mse",
+    "bpr_loss",
+    "binary_cross_entropy_with_logits",
+    "margin_multilabel_loss",
+    "l2_penalty",
+    "check_gradients",
+    "numeric_gradient",
+    "init",
+]

@@ -1,0 +1,66 @@
+"""Weight initialisation schemes.
+
+The paper uses the Xavier (Glorot) initialiser for all trainable matrices
+(Section V-D).  We provide both the uniform and normal variants plus a few
+utilities used by the layers and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+]
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = shape[0]
+    fan_out = shape[1]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initialiser."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_fan_out(tuple(shape))
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) normal initialiser."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_fan_out(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.1, high: float = 0.1, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: Tuple[int, ...], mean: float = 0.0, std: float = 0.01, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

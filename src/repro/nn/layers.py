@@ -1,0 +1,161 @@
+"""Reusable neural layers: Linear, Embedding, Dropout, MLP.
+
+These are the only layers the SMGCN family of models needs; the graph
+convolution layers themselves live with the models under
+:mod:`repro.models.components` because they are tied to graph structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module
+from .ops import dropout as dropout_op
+from .tensor import Parameter, Tensor, as_tensor
+
+__all__ = ["Linear", "Embedding", "Dropout", "MLP", "Identity"]
+
+Activation = Callable[[Tensor], Tensor]
+
+
+def _resolve_activation(activation: Optional[str]) -> Optional[Activation]:
+    if activation is None:
+        return None
+    table = {
+        "tanh": lambda x: x.tanh(),
+        "relu": lambda x: x.relu(),
+        "sigmoid": lambda x: x.sigmoid(),
+        "identity": lambda x: x,
+    }
+    if activation not in table:
+        raise ValueError(f"unknown activation {activation!r}; choose from {sorted(table)}")
+    return table[activation]
+
+
+class Identity(Module):
+    """Pass-through layer, handy as a default component."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x)
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b`` with Xavier-initialised weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        activation: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        self._activation = _resolve_activation(activation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        if self._activation is not None:
+            out = self._activation(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table of ``num_embeddings`` rows of dimension ``embedding_dim``."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.xavier_uniform((num_embeddings, embedding_dim), rng=rng), name="embedding"
+        )
+
+    def forward(self, indices=None) -> Tensor:
+        """Return the selected rows, or the full table when ``indices`` is None."""
+        if indices is None:
+            return self.weight
+        return self.weight.gather_rows(indices)
+
+    def all(self) -> Tensor:
+        """The full embedding table as a tensor (graph models propagate all nodes)."""
+        return self.weight
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; the paper applies it to aggregated neighbourhood messages."""
+
+    def __init__(self, p: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_op(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Dropout(p={self.p})"
+
+
+class MLP(Module):
+    """Multi-layer perceptron used by the Syndrome Induction component.
+
+    ``dims`` lists the layer widths including input and output, e.g.
+    ``MLP([256, 256])`` is the paper's single-layer syndrome MLP with ReLU.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        activation: str = "relu",
+        output_activation: Optional[str] = "relu",
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP requires at least an input and an output dimension")
+        self.dims = list(dims)
+        self._layers = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            is_last = i == len(dims) - 2
+            act = output_activation if is_last else activation
+            layer = Linear(d_in, d_out, bias=bias, activation=act, rng=rng)
+            setattr(self, f"layer_{i}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = as_tensor(x)
+        for layer in self._layers:
+            out = layer(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MLP(dims={self.dims})"

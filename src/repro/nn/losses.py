@@ -1,0 +1,159 @@
+"""Loss functions for the herb-recommendation task.
+
+The paper's main objective (Eq. 13-15) is a *frequency-weighted multi-label
+mean squared error* between the predicted herb-probability vector and the
+multi-hot ground-truth herb set, where rarer herbs receive a larger weight
+``max_k freq(k) / freq(i)``.  Table VIII additionally compares against the
+pair-wise BPR loss, and HC-KGETM uses a log-loss, so all three are provided
+here, together with the margin-based multi-label loss of Zhang & Zhou (2006)
+that the paper discusses and rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "herb_frequency_weights",
+    "weighted_multilabel_mse",
+    "multilabel_mse",
+    "bpr_loss",
+    "binary_cross_entropy_with_logits",
+    "margin_multilabel_loss",
+    "l2_penalty",
+]
+
+
+def herb_frequency_weights(herb_frequencies: Sequence[float]) -> np.ndarray:
+    """Per-herb loss weights ``w_i = max_k freq(k) / freq(i)`` (paper Eq. 15).
+
+    Herbs that never occur in the training corpus receive the largest weight
+    observed among occurring herbs instead of dividing by zero.
+    """
+    freq = np.asarray(herb_frequencies, dtype=np.float64)
+    if freq.ndim != 1:
+        raise ValueError("herb_frequencies must be a 1-D sequence")
+    if np.any(freq < 0):
+        raise ValueError("herb frequencies must be non-negative")
+    max_freq = float(freq.max()) if freq.size else 0.0
+    if max_freq == 0.0:
+        return np.ones_like(freq)
+    min_positive = float(freq[freq > 0].min())
+    safe = np.where(freq > 0, freq, min_positive)
+    return max_freq / safe
+
+
+def weighted_multilabel_mse(
+    predictions: Tensor,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Weighted MSE between predicted scores and multi-hot targets (Eq. 14).
+
+    ``predictions`` has shape ``(batch, num_herbs)``; ``targets`` is the
+    multi-hot ground-truth of the same shape; ``weights`` is a per-herb vector
+    (broadcast over the batch).  Returns the mean over the batch of the
+    weighted sum over herbs, matching the summation in Eq. (13)-(14) up to the
+    1/batch factor introduced by mini-batching.
+    """
+    predictions = as_tensor(predictions)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"predictions shape {predictions.shape} != targets shape {targets.shape}"
+        )
+    diff = predictions - Tensor(targets)
+    squared = diff * diff
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64).reshape(1, -1)
+        if weights.shape[1] != targets.shape[1]:
+            raise ValueError("weights length must equal the number of herbs")
+        squared = squared * Tensor(weights)
+    per_example = squared.sum(axis=1)
+    return per_example.mean()
+
+
+def multilabel_mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Unweighted multi-label MSE (ablation of the frequency weighting)."""
+    return weighted_multilabel_mse(predictions, targets, weights=None)
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Bayesian Personalised Ranking loss (Rendle et al., 2009).
+
+    ``-mean(log(sigmoid(pos - neg)))`` over paired positive/negative herb
+    scores.  Used in Table VIII as the pair-wise alternative the paper argues
+    against for set-valued herb recommendation.
+    """
+    positive_scores = as_tensor(positive_scores)
+    negative_scores = as_tensor(negative_scores)
+    if positive_scores.shape != negative_scores.shape:
+        raise ValueError("positive and negative score tensors must have the same shape")
+    diff = positive_scores - negative_scores
+    # -log(sigmoid(x)) = softplus(-x); use the sigmoid+clip formulation for simplicity.
+    probs = diff.sigmoid().clip(1e-10, 1.0)
+    return -(probs.log().mean())
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Element-wise log-loss over a multi-hot target matrix.
+
+    Used by the HC-KGETM-style log-loss configuration referenced in Table IV.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    if logits.shape != targets.shape:
+        raise ValueError(f"logits shape {logits.shape} != targets shape {targets.shape}")
+    probs = logits.sigmoid().clip(1e-10, 1.0 - 1e-10)
+    target_tensor = Tensor(targets)
+    losses = -(target_tensor * probs.log() + (1.0 - target_tensor) * (1.0 - probs).log())
+    return losses.sum(axis=1).mean()
+
+
+def margin_multilabel_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Pair-wise margin loss of Zhang & Zhou (2006), discussed in Section IV-E.
+
+    For every (positive herb p, negative herb n) pair the loss is
+    ``exp(-(score_p - score_n))`` averaged over pairs.  The paper argues this
+    is inappropriate for herb sets; we implement it so the claim can be tested.
+    """
+    predictions = as_tensor(predictions)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    batch, num_labels = targets.shape
+    total = None
+    count = 0
+    for row in range(batch):
+        pos_idx = np.nonzero(targets[row] > 0.5)[0]
+        neg_idx = np.nonzero(targets[row] <= 0.5)[0]
+        if pos_idx.size == 0 or neg_idx.size == 0:
+            continue
+        scores = predictions[row]
+        pos = scores.gather_rows(pos_idx).reshape(-1, 1)
+        neg = scores.gather_rows(neg_idx).reshape(1, -1)
+        pairwise = (-(pos - neg)).exp().mean()
+        total = pairwise if total is None else total + pairwise
+        count += 1
+    if total is None:
+        return Tensor(0.0)
+    return total * (1.0 / count)
+
+
+def l2_penalty(parameters) -> Tensor:
+    """Sum of squared parameter values, ``||Theta||_2^2`` in Eq. (13).
+
+    Optimisers usually fold this in through ``weight_decay``; this explicit
+    version is useful when the penalty must appear in the reported loss.
+    """
+    total = None
+    for param in parameters:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total

@@ -1,0 +1,115 @@
+"""Functional operations that combine multiple tensors.
+
+Single-tensor operations (activations, reductions, reshapes) live as methods on
+:class:`repro.nn.tensor.Tensor`; this module adds the multi-input operations
+the models need: concatenation, stacking, softmax utilities and dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "embedding_lookup",
+    "mean_pool_rows",
+    "scatter_mean",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate ``tensors`` along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def grad_fn(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate_grad(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), grad_fn)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack ``tensors`` along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def grad_fn(grad: np.ndarray) -> None:
+        slices = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate_grad(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), grad_fn)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` during training.
+
+    The surviving entries are scaled by ``1 / (1 - p)`` so expected activations
+    match evaluation mode.  A no-op when ``training`` is False or ``p == 0``.
+    """
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng if rng is not None else np.random.default_rng()
+    x = as_tensor(x)
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding_lookup(table: Tensor, indices) -> Tensor:
+    """Select rows of ``table`` by integer ``indices`` (autograd-aware)."""
+    return as_tensor(table).gather_rows(indices)
+
+
+def mean_pool_rows(table: Tensor, indices) -> Tensor:
+    """Average the rows of ``table`` selected by ``indices`` (1-D)."""
+    rows = embedding_lookup(table, indices)
+    return rows.mean(axis=0)
+
+
+def scatter_mean(table: Tensor, index_lists: Sequence[Sequence[int]]) -> Tensor:
+    """Mean-pool rows of ``table`` for every index list in ``index_lists``.
+
+    Builds a sparse-like pooling matrix of shape ``(len(index_lists), rows)``
+    so that a whole batch of sets can be pooled with one matmul.  Used by the
+    Syndrome Induction component to pool symptom embeddings per prescription.
+    """
+    table = as_tensor(table)
+    num_rows = table.shape[0]
+    pool = np.zeros((len(index_lists), num_rows), dtype=np.float64)
+    for i, indices in enumerate(index_lists):
+        if len(indices) == 0:
+            continue
+        pool[i, list(indices)] = 1.0 / len(indices)
+    return Tensor(pool) @ table

@@ -1,0 +1,118 @@
+"""Gradient-descent optimisers: SGD (with momentum) and Adam.
+
+The paper optimises every model with Adam (Kingma & Ba, 2015) and controls
+overfitting with an L2 penalty on the parameters; both optimisers therefore
+support decoupled ``weight_decay`` applied as an additive ``lambda * theta``
+gradient term, matching the ``lambda * ||Theta||^2`` regulariser in Eq. (13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the zero_grad/step protocol."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _effective_grad(self, param: Parameter) -> np.ndarray:
+        grad = param.grad if param.grad is not None else np.zeros_like(param.data)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr=lr, weight_decay=weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.parameters:
+            grad = self._effective_grad(param)
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr=lr, weight_decay=weight_decay)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for param in self.parameters:
+            grad = self._effective_grad(param)
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * (grad ** 2)
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1.0 - self.beta1 ** t)
+            v_hat = v / (1.0 - self.beta2 ** t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,83 @@
+"""Sparse-matrix support for graph convolutions.
+
+Graph convolution layers repeatedly compute ``A @ X`` where ``A`` is a fixed
+(non-trainable) adjacency matrix and ``X`` is a dense trainable embedding
+matrix.  Storing ``A`` as a ``scipy.sparse`` matrix and implementing the
+product as a dedicated autograd op keeps both the forward and the backward
+pass proportional to the number of edges rather than ``|V|^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["SparseMatrix", "sparse_matmul"]
+
+
+class SparseMatrix:
+    """An immutable, non-trainable sparse matrix operand.
+
+    Thin wrapper around ``scipy.sparse.csr_matrix`` that exposes the small
+    surface the graph layers need (shape, transpose, matmul with tensors).
+    """
+
+    def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
+        if sp.issparse(matrix):
+            self._matrix = matrix.tocsr().astype(np.float64)
+        else:
+            self._matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+
+    @property
+    def shape(self):
+        return self._matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._matrix.nnz)
+
+    @property
+    def scipy(self) -> sp.csr_matrix:
+        """The underlying ``csr_matrix`` (do not mutate)."""
+        return self._matrix
+
+    def transpose(self) -> "SparseMatrix":
+        return SparseMatrix(self._matrix.T)
+
+    @property
+    def T(self) -> "SparseMatrix":
+        return self.transpose()
+
+    def toarray(self) -> np.ndarray:
+        return self._matrix.toarray()
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of non-zeros per row (node degrees for binary adjacency)."""
+        return np.asarray((self._matrix != 0).sum(axis=1)).ravel()
+
+    def __matmul__(self, other: Union[Tensor, np.ndarray]) -> Tensor:
+        return sparse_matmul(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def sparse_matmul(matrix: SparseMatrix, dense: Union[Tensor, np.ndarray]) -> Tensor:
+    """Compute ``matrix @ dense`` where only ``dense`` may require gradients.
+
+    Backward: ``d(loss)/d(dense) = matrix.T @ d(loss)/d(out)``.
+    """
+    if not isinstance(matrix, SparseMatrix):
+        matrix = SparseMatrix(matrix)
+    dense = as_tensor(dense)
+    data = matrix.scipy @ dense.data
+
+    def grad_fn(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate_grad(matrix.scipy.T @ grad)
+
+    return Tensor._make(np.asarray(data), (dense,), grad_fn)

@@ -1,0 +1,454 @@
+"""Reverse-mode automatic differentiation on top of NumPy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper's
+models were implemented in TensorFlow; no deep-learning framework is available
+in this environment, so we provide a small but complete autograd engine that
+supports everything SMGCN and the baselines need: dense and sparse matrix
+multiplication, element-wise arithmetic with broadcasting, activations,
+reductions, concatenation and row gathering (embedding lookup).
+
+The design follows the classic "define-by-run" tape approach:
+
+* every :class:`Tensor` wraps a ``numpy.ndarray`` and remembers the tensors it
+  was computed from (``parents``) together with a closure that propagates the
+  output gradient to each parent;
+* :meth:`Tensor.backward` topologically sorts the graph reachable from the
+  output and runs the closures in reverse order, accumulating ``.grad`` on
+  every tensor that ``requires_grad``.
+
+Gradients are verified against finite differences in
+``tests/nn/test_gradcheck.py`` using :mod:`repro.nn.gradcheck`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Used during evaluation to avoid the memory and time overhead of recording
+    the backward tape.  Mirrors ``torch.no_grad``.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record the backward graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    NumPy broadcasting can expand a parent operand along new or size-1 axes;
+    the corresponding gradient must be summed back over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "parents", "grad_fn", "name")
+    __array_priority__ = 100  # ensure ndarray.__add__(Tensor) defers to us
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        grad_fn: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self.parents = parents if _GRAD_ENABLED else ()
+        self.grad_fn = grad_fn if _GRAD_ENABLED else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        grad_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires_grad)
+        if requires_grad:
+            out.parents = tuple(parents)
+            out.grad_fn = grad_fn
+        return out
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate ``grad`` (default: ones) from this tensor.
+
+        Populates ``.grad`` on every tensor in the reachable graph that has
+        ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node.parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate_grad(grad)
+        for node in reversed(topo):
+            if node.grad_fn is not None and node.grad is not None:
+                node.grad_fn(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate_grad(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(data, (self, other), grad_fn)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__add__(self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data - other.data
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate_grad(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(data, (self, other), grad_fn)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate_grad(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), grad_fn)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__mul__(self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate_grad(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        return Tensor._make(data, (self, other), grad_fn)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    # ------------------------------------------------------------------
+    # Linear algebra and shape ops
+    # ------------------------------------------------------------------
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data @ other.data
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate_grad(self.data.T @ grad)
+
+        return Tensor._make(data, (self, other), grad_fn)
+
+    __matmul__ = matmul
+
+    def transpose(self) -> "Tensor":
+        data = self.data.T
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad.T)
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        data = self.data.reshape(shape)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad.reshape(original_shape))
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def gather_rows(self, indices: ArrayLike) -> "Tensor":
+        """Select rows ``indices`` along axis 0 (embedding lookup).
+
+        The backward pass scatter-adds the incoming gradient back into the
+        selected rows, so repeated indices accumulate correctly.
+        """
+        idx = np.asarray(indices if not isinstance(indices, Tensor) else indices.data)
+        idx = idx.astype(np.int64)
+        data = self.data[idx]
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, idx, grad)
+                self._accumulate_grad(full)
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate_grad(full)
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate_grad(np.broadcast_to(g, self.shape).astype(np.float64))
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # Activations / transcendental functions
+    # ------------------------------------------------------------------
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * (self.data > 0.0))
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * data)
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad / self.data)
+
+        return Tensor._make(data, (self,), grad_fn)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def clip(self, min_value: Optional[float] = None, max_value: Optional[float] = None) -> "Tensor":
+        data = np.clip(self.data, min_value, max_value)
+
+        def grad_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                mask = np.ones_like(self.data)
+                if min_value is not None:
+                    mask = mask * (self.data >= min_value)
+                if max_value is not None:
+                    mask = mask * (self.data <= max_value)
+                self._accumulate_grad(grad * mask)
+
+        return Tensor._make(data, (self,), grad_fn)
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always requires gradients.
+
+    Modules register :class:`Parameter` attributes automatically so that
+    optimisers can discover them through ``Module.parameters()``.
+    """
+
+    def __init__(self, data: ArrayLike, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

@@ -1,0 +1,6 @@
+"""Training loop and configuration for the neural herb recommenders."""
+
+from .config import PAPER_OPTIMAL_PARAMETERS, TrainerConfig
+from .trainer import Trainer, TrainingHistory
+
+__all__ = ["TrainerConfig", "Trainer", "TrainingHistory", "PAPER_OPTIMAL_PARAMETERS"]

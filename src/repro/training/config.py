@@ -1,0 +1,60 @@
+"""Training configuration dataclasses.
+
+The paper tunes learning rate, L2 strength and dropout per model (Table III);
+:class:`TrainerConfig` captures those knobs plus the mini-batching and loss
+selection used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TrainerConfig", "PAPER_OPTIMAL_PARAMETERS"]
+
+_VALID_LOSSES = ("multilabel", "multilabel_unweighted", "bpr", "logloss")
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of one training run."""
+
+    learning_rate: float = 2e-4
+    weight_decay: float = 7e-3
+    epochs: int = 30
+    batch_size: int = 512
+    loss: str = "multilabel"
+    negative_samples: int = 1
+    seed: int = 0
+    shuffle: bool = True
+    verbose: bool = False
+    eval_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.loss not in _VALID_LOSSES:
+            raise ValueError(f"loss must be one of {_VALID_LOSSES}, got {self.loss!r}")
+        if self.negative_samples <= 0:
+            raise ValueError("negative_samples must be positive")
+        if self.eval_every is not None and self.eval_every <= 0:
+            raise ValueError("eval_every must be positive when provided")
+
+
+#: The optimal hyper-parameters the paper reports in Table III, kept verbatim so
+#: the Table III experiment can print them and the Table IV experiment can use
+#: scaled-down versions of them.
+PAPER_OPTIMAL_PARAMETERS = {
+    "HC-KGETM": {"alpha": 0.05, "beta_s": 0.01, "beta_h": 0.01, "gamma": 1},
+    "GC-MC": {"lr": 9e-4, "dropout": 0.0, "lambda": 1e-6},
+    "PinSage": {"lr": 9e-4, "dropout": 0.0, "lambda": 1e-3},
+    "NGCF": {"lr": 3e-3, "dropout": 0.0, "lambda": 1e-5},
+    "HeteGCN": {"lr": 3e-3, "dropout": 0.0, "lambda": 1e-3, "xs": 5, "xh": 40},
+    "SMGCN": {"lr": 2e-4, "dropout": 0.0, "lambda": 7e-3, "xs": 5, "xh": 40},
+}

@@ -1,0 +1,6 @@
+"""Small shared utilities (seeding, timing, console logging)."""
+
+from .seeding import SeedSequenceFactory, new_rng, seed_everything
+from .timing import Timer
+
+__all__ = ["new_rng", "seed_everything", "SeedSequenceFactory", "Timer"]

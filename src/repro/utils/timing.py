@@ -1,0 +1,33 @@
+"""Lightweight wall-clock timer used by the trainer and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager and stopwatch measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()

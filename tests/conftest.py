@@ -1,0 +1,30 @@
+"""Shared fixtures: a small deterministic synthetic corpus and its graphs."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticTCMConfig, generate_corpus
+from repro.graphs import SymptomHerbGraph, build_herb_synergy_graph, build_symptom_synergy_graph
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A 300-prescription corpus over 30 symptoms / 50 herbs (seeded)."""
+    return generate_corpus(SyntheticTCMConfig.tiny(seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_corpus):
+    train, test = tiny_corpus.dataset.train_test_split(
+        test_fraction=0.2, rng=np.random.default_rng(11)
+    )
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def tiny_graphs(tiny_split):
+    train, _ = tiny_split
+    bipartite = SymptomHerbGraph.from_dataset(train)
+    symptom_synergy = build_symptom_synergy_graph(train, threshold=2)
+    herb_synergy = build_herb_synergy_graph(train, threshold=4)
+    return bipartite, symptom_synergy, herb_synergy

@@ -1,0 +1,86 @@
+"""Property-based tests for the data substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Prescription, PrescriptionDataset, Vocabulary
+from repro.data.loaders import batch_iterator
+
+
+@st.composite
+def prescription_pairs(draw, num_symptoms=20, num_herbs=30, max_prescriptions=15):
+    count = draw(st.integers(min_value=1, max_value=max_prescriptions))
+    pairs = []
+    for _ in range(count):
+        symptoms = draw(
+            st.lists(st.integers(0, num_symptoms - 1), min_size=1, max_size=6, unique=True)
+        )
+        herbs = draw(
+            st.lists(st.integers(0, num_herbs - 1), min_size=1, max_size=8, unique=True)
+        )
+        pairs.append((tuple(symptoms), tuple(herbs)))
+    return pairs
+
+
+@settings(max_examples=30, deadline=None)
+@given(prescription_pairs())
+def test_multi_hot_matches_sets(pairs):
+    dataset = PrescriptionDataset.from_id_sets(pairs, num_symptoms=20, num_herbs=30)
+    targets = dataset.herb_multi_hot()
+    for row, prescription in enumerate(dataset):
+        assert set(np.nonzero(targets[row])[0].tolist()) == set(prescription.herbs)
+        assert targets[row].sum() == prescription.num_herbs
+
+
+@settings(max_examples=30, deadline=None)
+@given(prescription_pairs())
+def test_frequencies_sum_to_total_occurrences(pairs):
+    dataset = PrescriptionDataset.from_id_sets(pairs, num_symptoms=20, num_herbs=30)
+    freq = dataset.herb_frequencies()
+    assert freq.sum() == sum(p.num_herbs for p in dataset)
+    assert np.all(freq >= 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(prescription_pairs(), st.integers(min_value=1, max_value=7))
+def test_batches_partition_dataset(pairs, batch_size):
+    dataset = PrescriptionDataset.from_id_sets(pairs, num_symptoms=20, num_herbs=30)
+    seen = []
+    for batch in batch_iterator(dataset, batch_size=batch_size, shuffle=False):
+        seen.extend(batch.indices.tolist())
+        assert len(batch) <= batch_size
+    assert sorted(seen) == list(range(len(dataset)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(prescription_pairs(), st.floats(min_value=0.1, max_value=0.9))
+def test_split_partitions_dataset(pairs, fraction):
+    dataset = PrescriptionDataset.from_id_sets(pairs, num_symptoms=20, num_herbs=30)
+    if len(dataset) < 2:
+        return
+    train, test = dataset.train_test_split(test_fraction=fraction, rng=np.random.default_rng(0))
+    assert len(train) + len(test) == len(dataset)
+    assert len(train) >= 1 and len(test) >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=6), min_size=1, max_size=30))
+def test_vocabulary_encode_decode_roundtrip(tokens):
+    vocab = Vocabulary()
+    vocab.add_all(tokens)
+    unique_in_order = list(dict.fromkeys(tokens))
+    assert vocab.tokens == unique_in_order
+    assert vocab.decode(vocab.encode(unique_in_order)) == unique_in_order
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 9), min_size=1, max_size=6, unique=True),
+    st.lists(st.integers(0, 9), min_size=1, max_size=6, unique=True),
+)
+def test_prescription_is_canonical(symptoms, herbs):
+    p1 = Prescription(tuple(symptoms), tuple(herbs))
+    p2 = Prescription(tuple(reversed(symptoms)), tuple(reversed(herbs)))
+    assert p1 == p2
+    assert p1.symptoms == tuple(sorted(set(symptoms)))

@@ -1,0 +1,221 @@
+"""Tests for the synthetic corpus generator, loaders and the knowledge graph."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticTCMConfig,
+    batch_iterator,
+    build_kg_from_corpus,
+    build_kg_from_latent,
+    generate_corpus,
+    load_corpus,
+    save_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return generate_corpus(SyntheticTCMConfig.tiny(seed=7))
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        config = SyntheticTCMConfig()
+        assert config.num_symptoms > 0
+
+    def test_paper_scale(self):
+        config = SyntheticTCMConfig.paper_scale()
+        assert config.num_symptoms == 360
+        assert config.num_herbs == 753
+        assert config.num_prescriptions == 26360
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            SyntheticTCMConfig(num_symptoms=0)
+        with pytest.raises(ValueError):
+            SyntheticTCMConfig(min_symptoms=5, max_symptoms=2)
+        with pytest.raises(ValueError):
+            SyntheticTCMConfig(base_herb_probability=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTCMConfig(num_base_herbs=500, num_herbs=100)
+        with pytest.raises(ValueError):
+            SyntheticTCMConfig(symptoms_per_syndrome=500)
+
+
+class TestGenerateCorpus:
+    def test_sizes(self, tiny_corpus):
+        config = tiny_corpus.config
+        assert len(tiny_corpus.dataset) == config.num_prescriptions
+        assert tiny_corpus.dataset.num_symptoms == config.num_symptoms
+        assert tiny_corpus.dataset.num_herbs == config.num_herbs
+        assert tiny_corpus.num_syndromes == config.num_syndromes
+
+    def test_deterministic_for_seed(self):
+        a = generate_corpus(SyntheticTCMConfig.tiny(seed=3))
+        b = generate_corpus(SyntheticTCMConfig.tiny(seed=3))
+        assert a.dataset.symptom_sets() == b.dataset.symptom_sets()
+        assert a.dataset.herb_sets() == b.dataset.herb_sets()
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(SyntheticTCMConfig.tiny(seed=1))
+        b = generate_corpus(SyntheticTCMConfig.tiny(seed=2))
+        assert a.dataset.symptom_sets() != b.dataset.symptom_sets()
+
+    def test_set_sizes_within_bounds(self, tiny_corpus):
+        config = tiny_corpus.config
+        for prescription in tiny_corpus.dataset:
+            # +1 allows the optional noise symptom/herb, base herbs add more
+            assert config.min_symptoms <= prescription.num_symptoms <= config.max_symptoms + 1
+            assert prescription.num_herbs >= config.min_herbs - 1
+            assert prescription.num_herbs <= config.max_herbs + config.num_base_herbs + 1
+
+    def test_base_herbs_are_most_frequent(self, tiny_corpus):
+        config = tiny_corpus.config
+        freq = tiny_corpus.dataset.herb_frequencies()
+        base_mean = freq[: config.num_base_herbs].mean()
+        other_mean = freq[config.num_base_herbs :].mean()
+        assert base_mean > other_mean * 2
+
+    def test_frequency_distribution_is_skewed(self, tiny_corpus):
+        freq = np.sort(tiny_corpus.dataset.herb_frequencies())[::-1]
+        top_share = freq[:10].sum() / freq.sum()
+        assert top_share > 0.3
+
+    def test_syndrome_structure_recorded(self, tiny_corpus):
+        assert len(tiny_corpus.prescription_syndromes) == len(tiny_corpus.dataset)
+        for syndromes in tiny_corpus.prescription_syndromes:
+            assert 1 <= len(syndromes) <= 2
+
+    def test_syndrome_members_in_range(self, tiny_corpus):
+        config = tiny_corpus.config
+        for symptoms in tiny_corpus.syndrome_symptoms.values():
+            assert all(0 <= s < config.num_symptoms for s in symptoms)
+        for herbs in tiny_corpus.syndrome_herbs.values():
+            assert all(0 <= h < config.num_herbs for h in herbs)
+
+    def test_symptoms_predict_syndrome_herbs(self, tiny_corpus):
+        """Herbs of a prescription should mostly come from its latent syndromes."""
+        hits = 0
+        total = 0
+        config = tiny_corpus.config
+        for prescription, syndromes in zip(
+            tiny_corpus.dataset, tiny_corpus.prescription_syndromes
+        ):
+            pool = set()
+            for syndrome in syndromes:
+                pool.update(tiny_corpus.syndrome_herbs[syndrome])
+            pool.update(range(config.num_base_herbs))
+            for herb in prescription.herbs:
+                total += 1
+                hits += herb in pool
+        assert hits / total > 0.9
+
+
+class TestLoaders:
+    def test_save_load_roundtrip(self, tiny_corpus, tmp_path):
+        path = tmp_path / "corpus.tsv"
+        save_corpus(tiny_corpus.dataset, path)
+        loaded = load_corpus(
+            path,
+            symptom_vocab=tiny_corpus.dataset.symptom_vocab,
+            herb_vocab=tiny_corpus.dataset.herb_vocab,
+        )
+        assert len(loaded) == len(tiny_corpus.dataset)
+        assert loaded.symptom_sets() == tiny_corpus.dataset.symptom_sets()
+        assert loaded.herb_sets() == tiny_corpus.dataset.herb_sets()
+
+    def test_load_builds_vocab_when_missing(self, tiny_corpus, tmp_path):
+        path = tmp_path / "corpus.tsv"
+        save_corpus(tiny_corpus.dataset, path)
+        loaded = load_corpus(path)
+        assert len(loaded) == len(tiny_corpus.dataset)
+        assert len(loaded.symptom_vocab) <= tiny_corpus.dataset.num_symptoms
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only_symptoms_no_tab\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_corpus(path)
+
+    def test_load_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("# header\n\ns1 s2\th1\n", encoding="utf-8")
+        loaded = load_corpus(path)
+        assert len(loaded) == 1
+
+
+class TestBatchIterator:
+    def test_covers_every_prescription(self, tiny_corpus):
+        dataset = tiny_corpus.dataset
+        seen = []
+        for batch in batch_iterator(dataset, batch_size=64, shuffle=False):
+            seen.extend(batch.indices.tolist())
+        assert sorted(seen) == list(range(len(dataset)))
+
+    def test_batch_contents_consistent(self, tiny_corpus):
+        dataset = tiny_corpus.dataset
+        batch = next(batch_iterator(dataset, batch_size=8, shuffle=False))
+        assert len(batch) == 8
+        assert batch.herb_targets.shape == (8, dataset.num_herbs)
+        for row, idx in enumerate(batch.indices):
+            expected = set(dataset[int(idx)].herbs)
+            actual = set(np.nonzero(batch.herb_targets[row])[0].tolist())
+            assert actual == expected
+            assert batch.symptom_sets[row] == dataset[int(idx)].symptoms
+
+    def test_shuffle_changes_order(self, tiny_corpus):
+        dataset = tiny_corpus.dataset
+        first = next(batch_iterator(dataset, batch_size=32, shuffle=True, rng=np.random.default_rng(0)))
+        second = next(batch_iterator(dataset, batch_size=32, shuffle=True, rng=np.random.default_rng(1)))
+        assert not np.array_equal(first.indices, second.indices)
+
+    def test_drop_last(self, tiny_corpus):
+        dataset = tiny_corpus.dataset
+        batch_size = 64
+        batches = list(batch_iterator(dataset, batch_size=batch_size, shuffle=False, drop_last=True))
+        assert all(len(b) == batch_size for b in batches)
+
+    def test_invalid_batch_size(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            next(batch_iterator(tiny_corpus.dataset, batch_size=0))
+
+
+class TestKnowledgeGraph:
+    def test_latent_kg_structure(self, tiny_corpus):
+        kg = build_kg_from_latent(tiny_corpus)
+        dataset = tiny_corpus.dataset
+        assert kg.num_entities == dataset.num_symptoms + dataset.num_herbs + tiny_corpus.num_syndromes
+        assert len(kg) > 0
+        expected = sum(len(v) for v in tiny_corpus.syndrome_symptoms.values()) + sum(
+            len(v) for v in tiny_corpus.syndrome_herbs.values()
+        )
+        assert len(kg) == expected
+
+    def test_entity_id_layout(self, tiny_corpus):
+        kg = build_kg_from_latent(tiny_corpus)
+        assert kg.symptom_entity(0) == 0
+        assert kg.herb_entity(0) == kg.num_symptoms
+        assert kg.syndrome_entity(0) == kg.num_symptoms + kg.num_herbs
+
+    def test_entity_id_bounds(self, tiny_corpus):
+        kg = build_kg_from_latent(tiny_corpus)
+        with pytest.raises(ValueError):
+            kg.symptom_entity(kg.num_symptoms)
+        with pytest.raises(ValueError):
+            kg.herb_entity(-1)
+
+    def test_triple_array_shape(self, tiny_corpus):
+        kg = build_kg_from_latent(tiny_corpus)
+        arr = kg.triple_array()
+        assert arr.shape == (len(kg), 3)
+        assert arr.dtype == np.int64
+
+    def test_corpus_kg_thresholds(self, tiny_corpus):
+        dense = build_kg_from_corpus(tiny_corpus.dataset, symptom_threshold=0, herb_threshold=0)
+        sparse = build_kg_from_corpus(tiny_corpus.dataset, symptom_threshold=20, herb_threshold=50)
+        assert len(dense) > len(sparse)
+
+    def test_corpus_kg_rejects_negative_threshold(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            build_kg_from_corpus(tiny_corpus.dataset, symptom_threshold=-1)

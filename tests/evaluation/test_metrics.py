@@ -1,0 +1,121 @@
+"""Tests for the ranking metrics (paper Eqs. 16-18)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    evaluate_ranking,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    top_k_indices,
+)
+
+
+class TestTopK:
+    def test_orders_by_score(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        np.testing.assert_array_equal(top_k_indices(scores, 3)[0], [1, 3, 2])
+
+    def test_k_larger_than_items(self):
+        scores = np.array([[0.3, 0.1]])
+        assert top_k_indices(scores, 10).shape == (1, 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros(3), 1)
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros((2, 3)), 0)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        scores = np.array([[0.9, 0.8, 0.1, 0.0]])
+        truth = [(0, 1)]
+        assert precision_at_k(scores, truth, 2) == pytest.approx(1.0)
+        assert recall_at_k(scores, truth, 2) == pytest.approx(1.0)
+
+    def test_half_hit(self):
+        scores = np.array([[0.9, 0.1, 0.8, 0.0]])
+        truth = [(0, 1)]
+        assert precision_at_k(scores, truth, 2) == pytest.approx(0.5)
+        assert recall_at_k(scores, truth, 2) == pytest.approx(0.5)
+
+    def test_precision_denominator_is_k(self):
+        # one relevant herb, k=5: precision can be at most 1/5
+        scores = np.array([[1.0, 0.9, 0.8, 0.7, 0.6, 0.0]])
+        truth = [(0,)]
+        assert precision_at_k(scores, truth, 5) == pytest.approx(0.2)
+        assert recall_at_k(scores, truth, 5) == pytest.approx(1.0)
+
+    def test_averaged_over_prescriptions(self):
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        truth = [(0,), (0,)]
+        assert precision_at_k(scores, truth, 1) == pytest.approx(0.5)
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros((2, 3)), [(0,)], 1)
+
+
+class TestNDCG:
+    def test_perfect_is_one(self):
+        scores = np.array([[0.9, 0.8, 0.7, 0.0]])
+        truth = [(0, 1, 2)]
+        assert ndcg_at_k(scores, truth, 3) == pytest.approx(1.0)
+
+    def test_position_matters(self):
+        truth = [(0,)]
+        early = ndcg_at_k(np.array([[0.9, 0.5, 0.4]]), truth, 3)
+        late = ndcg_at_k(np.array([[0.4, 0.5, 0.9]]), truth, 3)
+        assert early > late
+        assert early == pytest.approx(1.0)
+        assert late == pytest.approx(1.0 / np.log2(4))
+
+    def test_no_hits_is_zero(self):
+        scores = np.array([[0.9, 0.8, 0.0]])
+        truth = [(2,)]
+        assert ndcg_at_k(scores, truth, 2) == pytest.approx(0.0)
+
+    def test_idcg_truncation(self):
+        # 5 relevant herbs but k=2: ideal DCG uses only the first two positions
+        scores = np.array([[1.0, 0.9, 0.1, 0.1, 0.1, 0.0]])
+        truth = [(0, 1, 2, 3, 4)]
+        assert ndcg_at_k(scores, truth, 2) == pytest.approx(1.0)
+
+
+class TestEvaluateRanking:
+    def test_contains_all_keys(self):
+        scores = np.array([[0.5, 0.1, 0.9]])
+        truth = [(2,)]
+        metrics = evaluate_ranking(scores, truth, ks=(1, 2))
+        assert set(metrics) == {"p@1", "r@1", "ndcg@1", "p@2", "r@2", "ndcg@2"}
+
+    def test_recall_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random((20, 30))
+        truth = [tuple(rng.choice(30, size=5, replace=False)) for _ in range(20)]
+        metrics = evaluate_ranking(scores, truth, ks=(5, 10, 20))
+        assert metrics["r@5"] <= metrics["r@10"] <= metrics["r@20"]
+
+    def test_precision_decreasing_in_k_for_strong_ranker(self):
+        # When the ranker puts the 3 relevant herbs first, p@5 = 3/5 > p@20 = 3/20.
+        num_herbs = 40
+        scores = np.zeros((10, num_herbs))
+        truth = []
+        rng = np.random.default_rng(1)
+        for row in range(10):
+            relevant = rng.choice(num_herbs, size=3, replace=False)
+            scores[row, relevant] = [3.0, 2.0, 1.0]
+            truth.append(tuple(relevant))
+        metrics = evaluate_ranking(scores, truth, ks=(5, 20))
+        assert metrics["p@5"] == pytest.approx(3 / 5)
+        assert metrics["p@20"] == pytest.approx(3 / 20)
+
+    def test_random_scores_near_chance(self):
+        rng = np.random.default_rng(2)
+        num_herbs = 100
+        scores = rng.random((200, num_herbs))
+        truth = [tuple(rng.choice(num_herbs, size=10, replace=False)) for _ in range(200)]
+        p5 = precision_at_k(scores, truth, 5)
+        assert abs(p5 - 10 / num_herbs) < 0.05

@@ -1,0 +1,109 @@
+"""Tests for the experiment profiles, cached corpora and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_MODEL_NAMES,
+    PROFILES,
+    build_neural_model,
+    experiment_corpus,
+    experiment_evaluator,
+    experiment_split,
+    get_profile,
+    train_and_evaluate,
+    train_hc_kgetm,
+    train_neural_model,
+)
+from repro.models import SMGCN, GCMC, HCKGETM, HeteGCN, NGCF, PinSage
+from repro.training import TrainerConfig
+
+
+class TestProfiles:
+    def test_available_profiles(self):
+        assert set(PROFILES) == {"default", "smoke"}
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("huge")
+
+    def test_smgcn_config_from_profile(self):
+        profile = get_profile("smoke")
+        config = profile.smgcn_config()
+        assert config.embedding_dim == profile.embedding_dim
+        assert tuple(config.layer_dims) == profile.layer_dims
+        override = profile.smgcn_config(message_dropout=0.3)
+        assert override.message_dropout == 0.3
+
+    def test_trainer_config_from_profile(self):
+        profile = get_profile("smoke")
+        config = profile.trainer_config()
+        assert config.epochs == profile.epochs
+        assert profile.trainer_config(loss="bpr").loss == "bpr"
+
+
+class TestExperimentData:
+    def test_corpus_is_cached(self):
+        assert experiment_corpus("smoke") is experiment_corpus("smoke")
+
+    def test_split_sizes(self):
+        profile = get_profile("smoke")
+        train, test = experiment_split("smoke")
+        total = len(train) + len(test)
+        assert total == profile.corpus_config.num_prescriptions
+        assert len(test) == pytest.approx(total * profile.test_fraction, abs=2)
+
+    def test_evaluator_uses_profile_ks(self):
+        evaluator = experiment_evaluator("smoke")
+        assert evaluator.ks == get_profile("smoke").ks
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("SMGCN", SMGCN),
+            ("Bipar-GCN", SMGCN),
+            ("Bipar-GCN w/ SGE", SMGCN),
+            ("Bipar-GCN w/ SI", SMGCN),
+            ("GC-MC", GCMC),
+            ("PinSage", PinSage),
+            ("NGCF", NGCF),
+            ("HeteGCN", HeteGCN),
+        ],
+    )
+    def test_build_neural_model(self, name, expected_type):
+        model = build_neural_model(name, scale="smoke")
+        assert isinstance(model, expected_type)
+        train, _ = experiment_split("smoke")
+        assert model.num_herbs == train.num_herbs
+
+    def test_submodel_flags(self):
+        assert build_neural_model("Bipar-GCN", scale="smoke").describe() == "Bipar-GCN"
+        assert build_neural_model("SMGCN", scale="smoke").describe() == "Bipar-GCN + SGE + SI"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_neural_model("DeepHerb", scale="smoke")
+
+    def test_train_neural_model_short(self):
+        config = TrainerConfig(epochs=2, batch_size=64, learning_rate=5e-3, seed=0)
+        model, history = train_neural_model("PinSage", scale="smoke", trainer_config=config)
+        assert isinstance(model, PinSage)
+        assert history.num_epochs == 2
+
+    def test_train_hc_kgetm(self):
+        model = train_hc_kgetm("smoke", num_topics=4, gibbs_iterations=1)
+        assert isinstance(model, HCKGETM)
+        assert model.is_fitted
+
+    def test_train_and_evaluate_returns_metrics(self):
+        config = TrainerConfig(epochs=2, batch_size=64, learning_rate=5e-3, seed=0)
+        result = train_and_evaluate("GC-MC", scale="smoke", trainer_config=config)
+        assert result.model_name == "GC-MC"
+        assert "p@5" in result.metrics
+        assert np.isfinite(list(result.metrics.values())).all()
+
+    def test_all_model_names(self):
+        assert "SMGCN" in ALL_MODEL_NAMES
+        assert "HC-KGETM" in ALL_MODEL_NAMES

@@ -1,0 +1,150 @@
+"""Integration tests: every registered experiment runs end-to-end at smoke scale.
+
+The cheap experiments run in full; the training-heavy sweeps are exercised with
+reduced sweep lists so the whole module stays fast while still covering every
+runner's code path.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments import (
+    fig7_thresholds,
+    fig8_regularization,
+    table4_overall,
+    table5_ablation,
+    table7_dimensions,
+)
+from repro.experiments.reporting import Series, Table
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(list_experiments()) == {
+            "fig5",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table8",
+            "fig10",
+        }
+
+    def test_specs_have_metadata(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.title
+            assert spec.paper_section
+            assert spec.expected_shape
+            assert spec.paper_reference is not None
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+class TestCheapExperiments:
+    def test_fig5(self):
+        series = run_experiment("fig5", scale="smoke", top_k=10)
+        assert isinstance(series, Series)
+        frequencies = series.metric("frequency")
+        assert len(frequencies) == 10
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_table2(self):
+        table = run_experiment("table2", scale="smoke")
+        assert isinstance(table, Table)
+        assert [row["dataset"] for row in table.rows] == ["All", "Train", "Test"]
+
+    def test_table3(self):
+        table = run_experiment("table3", scale="smoke")
+        assert len(table) == 6
+        assert "SMGCN" in table.column("model")
+
+
+class TestTrainingExperiments:
+    def test_table4_subset(self):
+        table = run_experiment("table4", scale="smoke", models=("PinSage", "SMGCN"))
+        assert set(table.column("model")) == {"PinSage", "SMGCN"}
+        smgcn = table.row_by("model", "SMGCN")
+        assert 0.0 <= smgcn["p@5"] <= 1.0
+
+    def test_table4_rejects_unknown_model(self):
+        with pytest.raises(KeyError):
+            run_experiment("table4", scale="smoke", models=("FooNet",))
+
+    def test_table5_subset(self):
+        table = run_experiment("table5", scale="smoke", submodels=("Bipar-GCN", "SMGCN"))
+        assert len(table) == 2
+
+    def test_table6_single_depth(self):
+        table = run_experiment("table6", scale="smoke", depths=(1,))
+        assert table.column("depth") == [1]
+
+    def test_table6_invalid_depth(self):
+        with pytest.raises(ValueError):
+            run_experiment("table6", scale="smoke", depths=(0,))
+
+    def test_table7_custom_dimensions(self):
+        table = run_experiment("table7", scale="smoke", dimensions=(8, 16))
+        assert table.column("dimension") == [8, 16]
+
+    def test_table7_default_dimensions_scale(self):
+        dims = table7_dimensions.default_dimensions("smoke")
+        assert len(dims) == 4
+        assert all(d > 0 for d in dims)
+
+    def test_fig7_custom_thresholds(self):
+        series = run_experiment("fig7", scale="smoke", thresholds=(2, 6))
+        assert series.x_values == [2, 6]
+        assert fig7_thresholds.default_thresholds("smoke")
+
+    def test_fig8_custom_lambdas(self):
+        series = run_experiment("fig8", scale="smoke", lambdas=(0.0, 1e-4))
+        assert len(series) == 2
+        assert fig8_regularization.default_lambdas("smoke")[0] == 0.0
+
+    def test_fig9_custom_ratios(self):
+        series = run_experiment("fig9", scale="smoke", ratios=(0.0, 0.5))
+        assert series.x_values == [0.0, 0.5]
+
+    def test_fig9_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig9", scale="smoke", ratios=(1.5,))
+
+    def test_table8_subset(self):
+        table = run_experiment(
+            "table8", scale="smoke", configurations=(("Bipar-GCN w/ SI", "multilabel"),)
+        )
+        assert len(table) == 1
+
+    def test_table8_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("table8", scale="smoke", configurations=(("Foo", "multilabel"),))
+        with pytest.raises(KeyError):
+            run_experiment(
+                "table8", scale="smoke", configurations=(("NGCF w/ SI", "hinge"),)
+            )
+
+    def test_fig10_case_study(self):
+        table = run_experiment("fig10", scale="smoke", num_cases=2, top_k=5)
+        assert len(table) == 2
+        assert all(0 <= row["precision"] <= 1 for row in table.rows)
+
+    def test_fig10_invalid_cases(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig10", scale="smoke", num_cases=0)
+
+    def test_paper_reference_tables_are_consistent(self):
+        # Table IV reference: SMGCN is the best row on every metric.
+        reference = table4_overall.PAPER_REFERENCE
+        for metric in ("p@5", "r@5", "ndcg@5"):
+            best = max(reference, key=lambda name: reference[name][metric])
+            assert best == "SMGCN"
+        # Table V reference: the full model beats the bare Bipar-GCN.
+        ablation = table5_ablation.PAPER_REFERENCE
+        assert ablation["SMGCN"]["p@5"] > ablation["Bipar-GCN"]["p@5"]

@@ -1,0 +1,97 @@
+"""Tests for the Table / Series reporting primitives."""
+
+import pytest
+
+from repro.experiments.reporting import Series, Table, format_value
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_int_and_str(self):
+        assert format_value(7) == "7"
+        assert format_value("abc") == "abc"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestTable:
+    def _table(self):
+        table = Table(title="demo", columns=["model", "p@5"])
+        table.add_row(model="A", **{"p@5": 0.5})
+        table.add_row(model="B", **{"p@5": 0.25})
+        return table
+
+    def test_add_row_and_len(self):
+        table = self._table()
+        assert len(table) == 2
+
+    def test_unknown_column_rejected(self):
+        table = Table(title="demo", columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row(b=1)
+
+    def test_column_access(self):
+        table = self._table()
+        assert table.column("model") == ["A", "B"]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_row_by(self):
+        table = self._table()
+        assert table.row_by("model", "B")["p@5"] == 0.25
+        with pytest.raises(KeyError):
+            table.row_by("model", "Z")
+
+    def test_to_text_contains_everything(self):
+        table = self._table()
+        table.add_note("a note")
+        text = table.to_text()
+        assert "demo" in text
+        assert "0.5000" in text
+        assert "note: a note" in text
+
+    def test_to_text_empty_table(self):
+        table = Table(title="empty", columns=["x"])
+        assert "empty" in table.to_text()
+
+
+class TestSeries:
+    def _series(self):
+        series = Series(title="sweep", x_label="x")
+        series.add_point(1, **{"p@5": 0.1, "r@5": 0.2})
+        series.add_point(2, **{"p@5": 0.3, "r@5": 0.1})
+        return series
+
+    def test_add_point_and_metric(self):
+        series = self._series()
+        assert len(series) == 2
+        assert series.metric("p@5") == [0.1, 0.3]
+        with pytest.raises(KeyError):
+            series.metric("missing")
+
+    def test_missing_metric_value_rejected(self):
+        series = Series(title="s", x_label="x")
+        series.add_point(1, a=1.0)
+        with pytest.raises(ValueError):
+            series.add_point(2, b=2.0)
+
+    def test_best_x(self):
+        series = self._series()
+        assert series.best_x("p@5") == 2
+        assert series.best_x("r@5") == 1
+
+    def test_best_x_empty(self):
+        with pytest.raises(ValueError):
+            Series(title="s", x_label="x").best_x("p@5")
+
+    def test_to_table_roundtrip(self):
+        series = self._series()
+        table = series.to_table()
+        assert table.column("x") == [1, 2]
+        assert "sweep" in series.to_text()

@@ -1,0 +1,247 @@
+"""Tests for bipartite / synergy graph construction and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.data import Prescription, PrescriptionDataset, Vocabulary
+from repro.graphs import (
+    SymptomHerbGraph,
+    SynergyGraph,
+    add_self_loops,
+    bipartite_block_matrix,
+    build_herb_synergy_graph,
+    build_symptom_synergy_graph,
+    cooccurrence_counts,
+    graph_comparison,
+    row_normalise,
+    summarise_degrees,
+    symmetric_normalise,
+)
+
+
+@pytest.fixture()
+def toy_dataset():
+    # Mirrors the example of Section IV-B: p1=<{s1,s2},{h1,h2}>, p2=<{s1,s3},{h3,h4}>
+    prescriptions = [
+        Prescription((0, 1), (0, 1)),
+        Prescription((0, 2), (2, 3)),
+        Prescription((0, 1), (0, 1)),
+    ]
+    return PrescriptionDataset(
+        prescriptions,
+        symptom_vocab=Vocabulary.from_prefix("symptom", 3),
+        herb_vocab=Vocabulary.from_prefix("herb", 4),
+        name="toy",
+    )
+
+
+class TestSymptomHerbGraph:
+    def test_edges_from_dataset(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        adjacency = graph.symptom_to_herb.toarray()
+        expected = np.array(
+            [
+                [1, 1, 1, 1],
+                [1, 1, 0, 0],
+                [0, 0, 1, 1],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(adjacency, expected)
+
+    def test_binary_even_for_repeated_cooccurrence(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        assert graph.symptom_to_herb.toarray().max() == 1.0
+
+    def test_degrees(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        np.testing.assert_array_equal(graph.symptom_degrees(), [4, 2, 2])
+        np.testing.assert_array_equal(graph.herb_degrees(), [2, 2, 2, 2])
+
+    def test_density(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        assert graph.density() == pytest.approx(8 / 12)
+
+    def test_mean_aggregator_rows_sum_to_one(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        operator = graph.mean_aggregator_symptom().toarray()
+        np.testing.assert_allclose(operator.sum(axis=1), np.ones(3))
+        operator_h = graph.mean_aggregator_herb().toarray()
+        np.testing.assert_allclose(operator_h.sum(axis=1), np.ones(4))
+
+    def test_neighbors(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        np.testing.assert_array_equal(np.sort(graph.symptom_neighbors(1)), [0, 1])
+        np.testing.assert_array_equal(np.sort(graph.herb_neighbors(3)), [0, 2])
+
+    def test_neighbors_out_of_range(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        with pytest.raises(ValueError):
+            graph.symptom_neighbors(10)
+        with pytest.raises(ValueError):
+            graph.herb_neighbors(-1)
+
+    def test_symmetric_normalised_shape_and_symmetry(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        operator = graph.symmetric_normalised().toarray()
+        assert operator.shape == (7, 7)
+        np.testing.assert_allclose(operator, operator.T, atol=1e-12)
+
+    def test_symmetric_normalised_with_self_loops(self, toy_dataset):
+        graph = SymptomHerbGraph.from_dataset(toy_dataset)
+        operator = graph.symmetric_normalised(add_self_loops=True).toarray()
+        assert np.all(np.diag(operator) > 0)
+
+    def test_shape_mismatch_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            SymptomHerbGraph(sp.eye(3).tocsr(), num_symptoms=3, num_herbs=4)
+
+
+class TestCooccurrence:
+    def test_counts_symmetric(self):
+        counts = cooccurrence_counts([(0, 1, 2), (0, 1)], num_items=3).toarray()
+        assert counts[0, 1] == 2
+        assert counts[1, 0] == 2
+        assert counts[0, 2] == 1
+        assert counts[1, 2] == 1
+        np.testing.assert_array_equal(np.diag(counts), np.zeros(3))
+
+    def test_empty_sets(self):
+        counts = cooccurrence_counts([], num_items=4)
+        assert counts.nnz == 0
+
+    def test_duplicates_in_set_ignored(self):
+        counts = cooccurrence_counts([(1, 1, 2)], num_items=3).toarray()
+        assert counts[1, 2] == 1
+
+
+class TestSynergyGraph:
+    def test_threshold_filters_edges(self):
+        counts = cooccurrence_counts([(0, 1), (0, 1), (1, 2)], num_items=3)
+        graph = SynergyGraph(counts, threshold=1)
+        adjacency = graph.adjacency.toarray()
+        assert adjacency[0, 1] == 1
+        assert adjacency[1, 2] == 0
+        assert graph.num_edges == 1
+
+    def test_threshold_zero_keeps_all(self):
+        counts = cooccurrence_counts([(0, 1), (1, 2)], num_items=3)
+        graph = SynergyGraph(counts, threshold=0)
+        assert graph.num_edges == 2
+
+    def test_with_threshold_resweeps(self):
+        counts = cooccurrence_counts([(0, 1), (0, 1), (1, 2)], num_items=3)
+        dense = SynergyGraph(counts, threshold=0)
+        sparse = dense.with_threshold(1)
+        assert sparse.num_edges <= dense.num_edges
+        assert sparse.threshold == 1
+
+    def test_degrees_and_density(self):
+        counts = cooccurrence_counts([(0, 1), (1, 2)], num_items=4)
+        graph = SynergyGraph(counts, threshold=0)
+        np.testing.assert_array_equal(graph.degrees(), [1, 2, 1, 0])
+        assert graph.density() == pytest.approx(4 / 12)
+
+    def test_neighbors(self):
+        counts = cooccurrence_counts([(0, 1), (1, 2)], num_items=3)
+        graph = SynergyGraph(counts, threshold=0)
+        np.testing.assert_array_equal(np.sort(graph.neighbors(1)), [0, 2])
+        with pytest.raises(ValueError):
+            graph.neighbors(99)
+
+    def test_invalid_inputs(self):
+        counts = cooccurrence_counts([(0, 1)], num_items=2)
+        with pytest.raises(ValueError):
+            SynergyGraph(counts, threshold=-1)
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            SynergyGraph(sp.csr_matrix((2, 3)), threshold=0)
+
+    def test_builders_use_dataset(self, toy_dataset):
+        symptom_graph = build_symptom_synergy_graph(toy_dataset, threshold=0)
+        herb_graph = build_herb_synergy_graph(toy_dataset, threshold=1)
+        assert symptom_graph.kind == "symptom"
+        assert herb_graph.kind == "herb"
+        assert symptom_graph.num_nodes == toy_dataset.num_symptoms
+        assert herb_graph.num_nodes == toy_dataset.num_herbs
+        # (h0, h1) co-occur twice -> kept with threshold 1; (h2, h3) only once -> dropped
+        assert herb_graph.adjacency.toarray()[0, 1] == 1
+        assert herb_graph.adjacency.toarray()[2, 3] == 0
+
+    def test_synergy_differs_from_second_order_bipartite(self, toy_dataset):
+        """Paper Section IV-B: second-order bipartite neighbours != co-occurrence."""
+        bipartite = SymptomHerbGraph.from_dataset(toy_dataset)
+        herb_graph = build_herb_synergy_graph(toy_dataset, threshold=0)
+        sh = bipartite.symptom_to_herb.toarray()
+        second_order = (sh.T @ sh) > 0
+        np.fill_diagonal(second_order, False)
+        synergy = herb_graph.adjacency.toarray() > 0
+        # herbs 1 and 2 share symptom 0 (second-order) but never co-occur in a prescription
+        assert second_order[1, 2]
+        assert not synergy[1, 2]
+
+
+class TestAdjacencyHelpers:
+    def test_row_normalise(self):
+        matrix = np.array([[1.0, 1.0], [0.0, 0.0], [2.0, 0.0]])
+        normalised = row_normalise(matrix).toarray()
+        np.testing.assert_allclose(normalised[0], [0.5, 0.5])
+        np.testing.assert_allclose(normalised[1], [0.0, 0.0])
+        np.testing.assert_allclose(normalised[2], [1.0, 0.0])
+
+    def test_symmetric_normalise_requires_square(self):
+        with pytest.raises(ValueError):
+            symmetric_normalise(np.ones((2, 3)))
+
+    def test_symmetric_normalise_values(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        normalised = symmetric_normalise(matrix).toarray()
+        np.testing.assert_allclose(normalised, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_add_self_loops(self):
+        matrix = np.zeros((3, 3))
+        looped = add_self_loops(matrix).toarray()
+        np.testing.assert_array_equal(looped, np.eye(3))
+        with pytest.raises(ValueError):
+            add_self_loops(np.zeros((2, 3)))
+
+    def test_bipartite_block_matrix(self):
+        sh = np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        block = bipartite_block_matrix(sh).toarray()
+        assert block.shape == (5, 5)
+        np.testing.assert_array_equal(block[:2, 2:], sh)
+        np.testing.assert_array_equal(block[2:, :2], sh.T)
+        np.testing.assert_array_equal(block[:2, :2], np.zeros((2, 2)))
+
+
+class TestDegreeStats:
+    def test_summarise_degrees(self):
+        summary = summarise_degrees("toy", np.array([0, 2, 4]), num_edges=3)
+        assert summary.mean_degree == pytest.approx(2.0)
+        assert summary.isolated_nodes == 1
+        assert summary.max_degree == 4
+        assert "graph" in summary.as_dict()
+
+    def test_summarise_empty(self):
+        summary = summarise_degrees("empty", np.array([]), num_edges=0)
+        assert summary.num_nodes == 0
+
+    def test_graph_comparison_density_argument(self, toy_dataset):
+        bipartite = SymptomHerbGraph.from_dataset(toy_dataset)
+        ss = build_symptom_synergy_graph(toy_dataset, threshold=0)
+        hh = build_herb_synergy_graph(toy_dataset, threshold=0)
+        comparison = graph_comparison(bipartite, ss, hh)
+        assert set(comparison) == {
+            "symptom-herb (symptom side)",
+            "symptom-herb (herb side)",
+            "symptom-symptom",
+            "herb-herb",
+        }
+        # the bipartite graph should be denser on average than the synergy graphs
+        assert (
+            comparison["symptom-herb (symptom side)"].mean_degree
+            >= comparison["symptom-symptom"].mean_degree
+        )

@@ -1,0 +1,215 @@
+"""Unit tests for the SMGCN building blocks: Bipar-GCN, SGE and Syndrome Induction."""
+
+import numpy as np
+import pytest
+
+from repro.models.components import BiparGCN, SyndromeInduction, SynergyGraphEncoder
+from repro.nn import Tensor, check_gradients
+
+
+def _features(rng, rows, dim):
+    return Tensor(rng.normal(scale=0.1, size=(rows, dim)), requires_grad=True)
+
+
+class TestBiparGCN:
+    def test_output_shapes(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = BiparGCN(bipartite, embedding_dim=8, layer_dims=(12, 16), rng=rng)
+        symptoms = _features(rng, bipartite.num_symptoms, 8)
+        herbs = _features(rng, bipartite.num_herbs, 8)
+        out_s, out_h = encoder(symptoms, herbs)
+        assert out_s.shape == (bipartite.num_symptoms, 16)
+        assert out_h.shape == (bipartite.num_herbs, 16)
+
+    def test_single_layer(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = BiparGCN(bipartite, embedding_dim=8, layer_dims=(10,), rng=rng)
+        out_s, out_h = encoder(_features(rng, bipartite.num_symptoms, 8), _features(rng, bipartite.num_herbs, 8))
+        assert out_s.shape[1] == 10 and out_h.shape[1] == 10
+        assert encoder.num_layers == 1
+
+    def test_outputs_bounded_by_tanh(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = BiparGCN(bipartite, embedding_dim=8, layer_dims=(12,), rng=rng)
+        out_s, out_h = encoder(_features(rng, bipartite.num_symptoms, 8), _features(rng, bipartite.num_herbs, 8))
+        assert np.all(np.abs(out_s.data) <= 1.0)
+        assert np.all(np.abs(out_h.data) <= 1.0)
+
+    def test_towers_have_separate_parameters(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        encoder = BiparGCN(bipartite, embedding_dim=8, layer_dims=(12,), rng=np.random.default_rng(0))
+        names = dict(encoder.named_parameters())
+        assert "symptom_transform_0.weight" in names
+        assert "herb_transform_0.weight" in names
+        assert not np.allclose(
+            names["symptom_transform_0.weight"].data, names["herb_transform_0.weight"].data
+        )
+
+    def test_gradients_flow_to_inputs(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = BiparGCN(bipartite, embedding_dim=4, layer_dims=(5,), rng=rng)
+        symptoms = _features(rng, bipartite.num_symptoms, 4)
+        herbs = _features(rng, bipartite.num_herbs, 4)
+        out_s, out_h = encoder(symptoms, herbs)
+        (out_s.sum() + out_h.sum()).backward()
+        assert symptoms.grad is not None and np.any(symptoms.grad != 0)
+        assert herbs.grad is not None and np.any(herbs.grad != 0)
+
+    def test_gradcheck_small(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(1)
+        encoder = BiparGCN(bipartite, embedding_dim=3, layer_dims=(3,), rng=rng)
+        symptoms = _features(rng, bipartite.num_symptoms, 3)
+        herbs = _features(rng, bipartite.num_herbs, 3)
+
+        def loss_fn():
+            out_s, out_h = encoder(symptoms, herbs)
+            return (out_s.sum() + out_h.sum()) * 0.01
+
+        check_gradients(loss_fn, [symptoms, herbs], atol=1e-4, rtol=1e-3)
+
+    def test_rejects_wrong_feature_shapes(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = BiparGCN(bipartite, embedding_dim=8, layer_dims=(8,), rng=rng)
+        with pytest.raises(ValueError):
+            encoder(_features(rng, bipartite.num_symptoms, 4), _features(rng, bipartite.num_herbs, 8))
+        with pytest.raises(ValueError):
+            encoder(_features(rng, bipartite.num_symptoms + 1, 8), _features(rng, bipartite.num_herbs, 8))
+
+    def test_invalid_construction(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        with pytest.raises(ValueError):
+            BiparGCN(bipartite, embedding_dim=0, layer_dims=(8,))
+        with pytest.raises(ValueError):
+            BiparGCN(bipartite, embedding_dim=8, layer_dims=())
+
+    def test_dropout_changes_training_output_only(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = BiparGCN(bipartite, embedding_dim=8, layer_dims=(8,), message_dropout=0.5, rng=rng)
+        symptoms = _features(rng, bipartite.num_symptoms, 8)
+        herbs = _features(rng, bipartite.num_herbs, 8)
+        encoder.eval()
+        out1, _ = encoder(symptoms, herbs)
+        out2, _ = encoder(symptoms, herbs)
+        np.testing.assert_allclose(out1.data, out2.data)
+        encoder.train()
+        out3, _ = encoder(symptoms, herbs)
+        out4, _ = encoder(symptoms, herbs)
+        assert not np.allclose(out3.data, out4.data)
+
+
+class TestSynergyGraphEncoder:
+    def test_output_shapes(self, tiny_graphs):
+        _, symptom_synergy, herb_synergy = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = SynergyGraphEncoder(symptom_synergy, herb_synergy, embedding_dim=8, output_dim=16, rng=rng)
+        out_s, out_h = encoder(
+            _features(rng, symptom_synergy.num_nodes, 8), _features(rng, herb_synergy.num_nodes, 8)
+        )
+        assert out_s.shape == (symptom_synergy.num_nodes, 16)
+        assert out_h.shape == (herb_synergy.num_nodes, 16)
+
+    def test_isolated_nodes_get_zero_synergy(self, tiny_graphs):
+        _, symptom_synergy, herb_synergy = tiny_graphs
+        rng = np.random.default_rng(0)
+        encoder = SynergyGraphEncoder(symptom_synergy, herb_synergy, embedding_dim=8, output_dim=8, rng=rng)
+        out_s, _ = encoder(
+            _features(rng, symptom_synergy.num_nodes, 8), _features(rng, herb_synergy.num_nodes, 8)
+        )
+        isolated = np.nonzero(symptom_synergy.degrees() == 0)[0]
+        if isolated.size:
+            np.testing.assert_allclose(out_s.data[isolated], 0.0, atol=1e-12)
+
+    def test_sum_vs_mean_aggregator_differ(self, tiny_graphs):
+        _, symptom_synergy, herb_synergy = tiny_graphs
+        rng = np.random.default_rng(0)
+        symptoms = _features(rng, symptom_synergy.num_nodes, 8)
+        herbs = _features(rng, herb_synergy.num_nodes, 8)
+        sum_encoder = SynergyGraphEncoder(
+            symptom_synergy, herb_synergy, 8, 8, aggregator="sum", rng=np.random.default_rng(1)
+        )
+        mean_encoder = SynergyGraphEncoder(
+            symptom_synergy, herb_synergy, 8, 8, aggregator="mean", rng=np.random.default_rng(1)
+        )
+        out_sum, _ = sum_encoder(symptoms, herbs)
+        out_mean, _ = mean_encoder(symptoms, herbs)
+        assert not np.allclose(out_sum.data, out_mean.data)
+
+    def test_init_gain_scales_weights(self, tiny_graphs):
+        _, symptom_synergy, herb_synergy = tiny_graphs
+        small = SynergyGraphEncoder(
+            symptom_synergy, herb_synergy, 8, 8, init_gain=0.01, rng=np.random.default_rng(2)
+        )
+        large = SynergyGraphEncoder(
+            symptom_synergy, herb_synergy, 8, 8, init_gain=1.0, rng=np.random.default_rng(2)
+        )
+        assert np.abs(small.symptom_weight.weight.data).max() < np.abs(large.symptom_weight.weight.data).max()
+
+    def test_invalid_arguments(self, tiny_graphs):
+        _, symptom_synergy, herb_synergy = tiny_graphs
+        with pytest.raises(ValueError):
+            SynergyGraphEncoder(symptom_synergy, herb_synergy, 0, 8)
+        with pytest.raises(ValueError):
+            SynergyGraphEncoder(symptom_synergy, herb_synergy, 8, 8, aggregator="max")
+        with pytest.raises(ValueError):
+            SynergyGraphEncoder(symptom_synergy, herb_synergy, 8, 8, init_gain=0.0)
+
+
+class TestSyndromeInduction:
+    def test_mean_pooling_without_mlp(self):
+        embeddings = Tensor(np.arange(12.0).reshape(4, 3))
+        si = SyndromeInduction(3, use_mlp=False)
+        out = si(embeddings, [(0, 1), (2,)])
+        np.testing.assert_allclose(out.data[0], embeddings.data[[0, 1]].mean(axis=0))
+        np.testing.assert_allclose(out.data[1], embeddings.data[2])
+
+    def test_mlp_output_is_nonnegative(self):
+        rng = np.random.default_rng(0)
+        embeddings = Tensor(rng.normal(size=(6, 4)))
+        si = SyndromeInduction(4, use_mlp=True, rng=rng)
+        out = si(embeddings, [(0, 1, 2), (3, 4)])
+        assert out.shape == (2, 4)
+        assert np.all(out.data >= 0.0)
+
+    def test_mlp_differs_from_mean(self):
+        rng = np.random.default_rng(0)
+        embeddings = Tensor(rng.normal(size=(6, 4)))
+        mean_si = SyndromeInduction(4, use_mlp=False)
+        mlp_si = SyndromeInduction(4, use_mlp=True, rng=rng)
+        mean_out = mean_si(embeddings, [(0, 1)])
+        mlp_out = mlp_si(embeddings, [(0, 1)])
+        assert not np.allclose(mean_out.data, mlp_out.data)
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(0)
+        embeddings = Tensor(rng.normal(size=(8, 5)))
+        si = SyndromeInduction(5, use_mlp=True, rng=rng)
+        out_a = si(embeddings, [(0, 3, 5)])
+        out_b = si(embeddings, [(5, 0, 3)])
+        np.testing.assert_allclose(out_a.data, out_b.data)
+
+    def test_rejects_empty_sets(self):
+        embeddings = Tensor(np.ones((3, 2)))
+        si = SyndromeInduction(2, use_mlp=False)
+        with pytest.raises(ValueError):
+            si(embeddings, [])
+        with pytest.raises(ValueError):
+            si(embeddings, [()])
+
+    def test_rejects_dim_mismatch(self):
+        si = SyndromeInduction(4, use_mlp=False)
+        with pytest.raises(ValueError):
+            si(Tensor(np.ones((3, 2))), [(0,)])
+
+    def test_gradients_reach_embeddings(self):
+        embeddings = Tensor(np.random.default_rng(0).normal(size=(5, 3)), requires_grad=True)
+        si = SyndromeInduction(3, use_mlp=True, rng=np.random.default_rng(1))
+        out = si(embeddings, [(0, 1), (2, 3, 4)])
+        out.sum().backward()
+        assert embeddings.grad is not None

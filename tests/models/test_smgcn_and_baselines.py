@@ -1,0 +1,230 @@
+"""Tests for SMGCN and the neural baselines (GC-MC, PinSage, NGCF, HeteGCN)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    GCMC,
+    GCMCConfig,
+    HeteGCN,
+    HeteGCNConfig,
+    NGCF,
+    NGCFConfig,
+    PinSage,
+    PinSageConfig,
+    SMGCN,
+    SMGCNConfig,
+)
+
+
+def _small_smgcn_config(**overrides):
+    defaults = dict(
+        embedding_dim=8,
+        layer_dims=(12, 16),
+        symptom_threshold=2,
+        herb_threshold=4,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SMGCNConfig(**defaults)
+
+
+class TestSMGCNConstruction:
+    def test_from_dataset(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        assert model.num_symptoms == train.num_symptoms
+        assert model.num_herbs == train.num_herbs
+        assert model.describe() == "Bipar-GCN + SGE + SI"
+
+    def test_ablation_constructors(self, tiny_split):
+        train, _ = tiny_split
+        assert SMGCN.bipar_gcn_only(train, _small_smgcn_config()).describe() == "Bipar-GCN"
+        assert SMGCN.bipar_gcn_with_sge(train, _small_smgcn_config()).describe() == "Bipar-GCN + SGE"
+        assert SMGCN.bipar_gcn_with_si(train, _small_smgcn_config()).describe() == "Bipar-GCN + SI"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SMGCNConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            SMGCNConfig(layer_dims=())
+        with pytest.raises(ValueError):
+            SMGCNConfig(message_dropout=1.5)
+
+    def test_synergy_required_when_enabled(self, tiny_graphs):
+        bipartite, _, _ = tiny_graphs
+        with pytest.raises(ValueError):
+            SMGCN(bipartite, None, None, _small_smgcn_config(use_synergy=True))
+
+    def test_parameter_count_increases_with_components(self, tiny_split):
+        train, _ = tiny_split
+        full = SMGCN.from_dataset(train, _small_smgcn_config())
+        bipar_only = SMGCN.bipar_gcn_only(train, _small_smgcn_config())
+        assert full.num_parameters() > bipar_only.num_parameters()
+
+
+class TestSMGCNForward:
+    def test_forward_scores_shape(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        sets = [train[0].symptoms, train[1].symptoms, train[2].symptoms]
+        scores = model(sets)
+        assert scores.shape == (3, train.num_herbs)
+
+    def test_score_sets_is_deterministic_in_eval(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config(message_dropout=0.5))
+        sets = [train[0].symptoms]
+        first = model.score_sets(sets)
+        second = model.score_sets(sets)
+        np.testing.assert_allclose(first, second)
+
+    def test_score_sets_restores_training_mode(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        model.train()
+        model.score_sets([train[0].symptoms])
+        assert model.training
+
+    def test_recommend_returns_topk_unique(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        recs = model.recommend(train[0].symptoms, k=7)
+        assert len(recs) == 7
+        assert len(set(recs)) == 7
+        assert all(0 <= h < train.num_herbs for h in recs)
+
+    def test_recommend_rejects_bad_k(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        with pytest.raises(ValueError):
+            model.recommend(train[0].symptoms, k=0)
+
+    def test_encode_shapes(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        symptoms, herbs = model.encode()
+        assert symptoms.shape == (train.num_symptoms, 16)
+        assert herbs.shape == (train.num_herbs, 16)
+
+    def test_gradients_flow_to_all_parameters(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        scores = model([train[0].symptoms, train[1].symptoms])
+        scores.sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_seed_reproducibility(self, tiny_split):
+        train, _ = tiny_split
+        a = SMGCN.from_dataset(train, _small_smgcn_config(seed=3))
+        b = SMGCN.from_dataset(train, _small_smgcn_config(seed=3))
+        np.testing.assert_allclose(
+            a.score_sets([train[0].symptoms]), b.score_sets([train[0].symptoms])
+        )
+
+    def test_state_dict_roundtrip_preserves_scores(self, tiny_split):
+        train, _ = tiny_split
+        a = SMGCN.from_dataset(train, _small_smgcn_config(seed=1))
+        b = SMGCN.from_dataset(train, _small_smgcn_config(seed=2))
+        sets = [train[0].symptoms]
+        assert not np.allclose(a.score_sets(sets), b.score_sets(sets))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.score_sets(sets), b.score_sets(sets))
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda train: GCMC.from_dataset(train, GCMCConfig(embedding_dim=8, seed=0)),
+        lambda train: PinSage.from_dataset(train, PinSageConfig(embedding_dim=8, seed=0)),
+        lambda train: NGCF.from_dataset(train, NGCFConfig(embedding_dim=8, num_layers=2, seed=0)),
+        lambda train: HeteGCN.from_dataset(
+            train,
+            HeteGCNConfig(
+                embedding_dim=8, hidden_dim=12, symptom_threshold=2, herb_threshold=4, seed=0
+            ),
+        ),
+    ],
+    ids=["GC-MC", "PinSage", "NGCF", "HeteGCN"],
+)
+class TestBaselineModels:
+    def test_forward_shapes(self, model_factory, tiny_split):
+        train, _ = tiny_split
+        model = model_factory(train)
+        sets = [train[0].symptoms, train[1].symptoms]
+        scores = model(sets)
+        assert scores.shape == (2, train.num_herbs)
+
+    def test_score_sets_finite(self, model_factory, tiny_split):
+        train, _ = tiny_split
+        model = model_factory(train)
+        scores = model.score_sets([train[0].symptoms])
+        assert np.all(np.isfinite(scores))
+
+    def test_gradients_flow(self, model_factory, tiny_split):
+        train, _ = tiny_split
+        model = model_factory(train)
+        scores = model([train[0].symptoms, train[1].symptoms])
+        scores.sum().backward()
+        grads = [p.grad for _, p in model.named_parameters()]
+        assert any(g is not None and np.any(g != 0) for g in grads)
+
+    def test_recommend(self, model_factory, tiny_split):
+        train, _ = tiny_split
+        model = model_factory(train)
+        recs = model.recommend(train[0].symptoms, k=5)
+        assert len(recs) == 5
+
+
+class TestBaselineConfigValidation:
+    def test_gcmc_config(self):
+        with pytest.raises(ValueError):
+            GCMCConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            GCMCConfig(message_dropout=1.0)
+
+    def test_pinsage_config(self):
+        with pytest.raises(ValueError):
+            PinSageConfig(num_layers=0)
+
+    def test_ngcf_config(self):
+        with pytest.raises(ValueError):
+            NGCFConfig(embedding_dim=-1)
+        assert NGCFConfig(embedding_dim=8, num_layers=2).output_dim == 24
+
+    def test_hetegcn_config(self):
+        with pytest.raises(ValueError):
+            HeteGCNConfig(hidden_dim=0)
+        with pytest.raises(ValueError):
+            HeteGCNConfig(message_dropout=1.2)
+
+
+class TestArchitecturalContrasts:
+    def test_pinsage_shares_weights_across_types(self, tiny_split):
+        train, _ = tiny_split
+        model = PinSage.from_dataset(train, PinSageConfig(embedding_dim=8, seed=0))
+        names = [name for name, _ in model.named_parameters()]
+        assert not any("symptom_transform" in n or "herb_transform" in n for n in names)
+        assert any(n.startswith("transform_0") for n in names)
+
+    def test_smgcn_has_type_specific_weights(self, tiny_split):
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(train, _small_smgcn_config())
+        names = [name for name, _ in model.named_parameters()]
+        assert any("symptom_transform_0" in n for n in names)
+        assert any("herb_transform_0" in n for n in names)
+
+    def test_hetegcn_uses_mean_pool_syndrome(self, tiny_split):
+        train, _ = tiny_split
+        model = HeteGCN.from_dataset(
+            train, HeteGCNConfig(embedding_dim=8, hidden_dim=12, symptom_threshold=2, herb_threshold=4)
+        )
+        assert model.syndrome_induction.mlp is None
+
+    def test_ngcf_concatenates_layers(self, tiny_split):
+        train, _ = tiny_split
+        model = NGCF.from_dataset(train, NGCFConfig(embedding_dim=8, num_layers=2, seed=0))
+        symptoms, herbs = model.encode()
+        assert symptoms.shape[1] == 8 * 3
+        assert herbs.shape[1] == 8 * 3

@@ -1,0 +1,137 @@
+"""Finite-difference gradient checks for every autograd op used by the models."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SparseMatrix, Tensor, check_gradients, concat, softmax, sparse_matmul
+
+RNG = np.random.default_rng(12345)
+
+
+def _tensor(shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        a, b = _tensor((3, 4)), _tensor((3, 4))
+        check_gradients(lambda: ((a + b) * (a - b)).sum(), [a, b])
+
+    def test_div(self):
+        a = _tensor((2, 3))
+        b = Tensor(RNG.uniform(0.5, 2.0, size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_broadcast_add(self):
+        a = _tensor((4, 3))
+        b = _tensor((3,))
+        check_gradients(lambda: ((a + b) ** 2).sum(), [a, b])
+
+    def test_pow(self):
+        a = Tensor(RNG.uniform(0.5, 2.0, size=(5,)), requires_grad=True)
+        check_gradients(lambda: (a ** 3).sum(), [a])
+
+
+class TestActivationGradients:
+    def test_tanh(self):
+        a = _tensor((3, 3))
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_relu(self):
+        # Keep values away from the kink at zero for a clean numeric estimate.
+        a = Tensor(RNG.choice([-1.0, 1.0], size=(4, 4)) * RNG.uniform(0.5, 1.5, size=(4, 4)), requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_sigmoid(self):
+        a = _tensor((3, 2))
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_exp_log(self):
+        a = Tensor(RNG.uniform(0.5, 1.5, size=(4,)), requires_grad=True)
+        check_gradients(lambda: (a.exp().log() * a).sum(), [a])
+
+    def test_softmax(self):
+        a = _tensor((2, 5))
+        weights = Tensor(RNG.normal(size=(2, 5)))
+        check_gradients(lambda: (softmax(a, axis=1) * weights).sum(), [a])
+
+
+class TestLinearAlgebraGradients:
+    def test_matmul(self):
+        a, b = _tensor((3, 4)), _tensor((4, 2))
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_chain(self):
+        a, b, c = _tensor((2, 3)), _tensor((3, 4)), _tensor((4, 2))
+        check_gradients(lambda: ((a @ b) @ c).tanh().sum(), [a, b, c])
+
+    def test_transpose(self):
+        a = _tensor((3, 5))
+        b = _tensor((3, 5))
+        check_gradients(lambda: (a.T @ b).sum(), [a, b])
+
+    def test_concat(self):
+        a, b = _tensor((3, 2)), _tensor((3, 4))
+        w = _tensor((6, 1))
+        check_gradients(lambda: (concat([a, b], axis=1) @ w).sum(), [a, b, w])
+
+    def test_gather_rows(self):
+        table = _tensor((6, 3))
+        idx = np.array([0, 2, 2, 5])
+        weights = Tensor(RNG.normal(size=(4, 3)))
+        check_gradients(lambda: (table.gather_rows(idx) * weights).sum(), [table])
+
+    def test_mean_reduction(self):
+        a = _tensor((4, 5))
+        check_gradients(lambda: (a.mean(axis=0) ** 2).sum(), [a])
+
+
+class TestSparseGradients:
+    def test_sparse_matmul_matches_dense(self):
+        dense_adj = (RNG.random((5, 7)) < 0.4).astype(float)
+        sparse = SparseMatrix(dense_adj)
+        x = _tensor((7, 3))
+        out_sparse = sparse_matmul(sparse, x)
+        out_dense = Tensor(dense_adj) @ x
+        np.testing.assert_allclose(out_sparse.data, out_dense.data)
+
+    def test_sparse_matmul_gradient(self):
+        dense_adj = (RNG.random((4, 6)) < 0.5).astype(float)
+        sparse = SparseMatrix(dense_adj)
+        x = _tensor((6, 2))
+        check_gradients(lambda: (sparse_matmul(sparse, x).tanh()).sum(), [x])
+
+    def test_sparse_matrix_degrees(self):
+        dense_adj = np.array([[1.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        sparse = SparseMatrix(dense_adj)
+        np.testing.assert_array_equal(sparse.row_degrees(), [2, 0])
+
+    def test_sparse_transpose_shape(self):
+        sparse = SparseMatrix(np.ones((2, 5)))
+        assert sparse.T.shape == (5, 2)
+
+
+class TestGradcheckUtility:
+    def test_detects_wrong_gradient(self):
+        a = _tensor((3,))
+
+        def bad_fn():
+            out = a * 2.0
+            # Tamper with the closure by scaling the output; gradients from the
+            # engine remain correct, so instead check that a genuinely wrong
+            # analytic gradient is detected by comparing against a constant.
+            return out.sum()
+
+        # Manually corrupt: run backward, then assert numeric check against a
+        # corrupted copy fails.
+        out = bad_fn()
+        out.backward()
+        a.grad = a.grad * 3.0  # corrupt
+        from repro.nn.gradcheck import numeric_gradient
+
+        numeric = numeric_gradient(bad_fn, a)
+        assert not np.allclose(a.grad, numeric)
+
+    def test_passes_for_correct_gradient(self):
+        a = _tensor((4,))
+        assert check_gradients(lambda: (a ** 2).sum(), [a])

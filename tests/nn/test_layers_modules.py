@@ -1,0 +1,196 @@
+"""Tests for Module containers, layers, initialisers, dropout and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dropout, Embedding, Identity, Linear, Module, Parameter, Tensor, init
+
+
+class TestInitialisers:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((100, 50), rng=rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((2000, 1000), rng=rng)
+        expected_std = np.sqrt(2.0 / 3000)
+        assert abs(w.std() - expected_std) < expected_std * 0.1
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+        assert np.all(init.ones((2,)) == 1.0)
+
+    def test_uniform_range(self):
+        w = init.uniform((50,), low=-0.5, high=0.5, rng=np.random.default_rng(1))
+        assert np.all(w >= -0.5) and np.all(w <= 0.5)
+
+    def test_fan_in_fan_out_requires_shape(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(())
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones((2, 2)))
+                self.inner = Linear(2, 3, rng=np.random.default_rng(0))
+
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "w" in names
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+        assert toy.num_parameters() == 4 + 6 + 3
+
+    def test_train_eval_propagates(self):
+        class Wrapper(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop = Dropout(0.5)
+
+        wrapper = Wrapper()
+        assert wrapper.drop.training
+        wrapper.eval()
+        assert not wrapper.drop.training
+        wrapper.train()
+        assert wrapper.drop.training
+
+    def test_zero_grad(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        layer_a = Linear(4, 3, rng=np.random.default_rng(0))
+        layer_b = Linear(4, 3, rng=np.random.default_rng(1))
+        assert not np.allclose(layer_a.weight.data, layer_b.weight.data)
+        layer_b.load_state_dict(layer_a.state_dict())
+        np.testing.assert_allclose(layer_a.weight.data, layer_b.weight.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_named_modules(self):
+        mlp = MLP([4, 8, 2], rng=np.random.default_rng(0))
+        names = [name for name, _ in mlp.named_modules()]
+        assert "layer_0" in names and "layer_1" in names
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 7, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((3, 5))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_activation_applied(self):
+        layer = Linear(3, 4, activation="relu", rng=np.random.default_rng(0))
+        out = layer(Tensor(-100.0 * np.ones((2, 3))))
+        assert np.all(out.data >= 0.0)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            Linear(2, 2, activation="swish")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert layer.bias.grad.shape == (2,)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        rows = emb([1, 3, 3])
+        assert rows.shape == (3, 4)
+        np.testing.assert_allclose(rows.data[1], rows.data[2])
+
+    def test_full_table(self):
+        emb = Embedding(6, 3, rng=np.random.default_rng(0))
+        assert emb().shape == (6, 3)
+        assert emb.all() is emb.weight
+
+    def test_gradients_accumulate_for_repeated_indices(self):
+        emb = Embedding(5, 2, rng=np.random.default_rng(0))
+        out = emb([2, 2]).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [2.0, 2.0])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_training_mode_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 200)))
+        out = drop(x).data
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0.0]
+        np.testing.assert_allclose(surviving, 2.0)
+
+    def test_zero_probability_is_identity(self):
+        drop = Dropout(0.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 5)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestMLP:
+    def test_structure(self):
+        mlp = MLP([8, 16, 4], rng=np.random.default_rng(0))
+        assert len(mlp._layers) == 2
+        out = mlp(Tensor(np.ones((3, 8))))
+        assert out.shape == (3, 4)
+
+    def test_single_layer_matches_paper_syndrome_mlp(self):
+        mlp = MLP([6, 6], activation="relu", output_activation="relu", rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((2, 6))))
+        assert np.all(out.data >= 0.0)
+
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_identity_layer(self):
+        layer = Identity()
+        x = Tensor([1.0, 2.0])
+        assert layer(x).data is x.data

@@ -1,0 +1,224 @@
+"""Tests for optimisers and the herb-recommendation loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    Parameter,
+    SGD,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    bpr_loss,
+    herb_frequency_weights,
+    l2_penalty,
+    margin_multilabel_loss,
+    multilabel_mse,
+    weighted_multilabel_mse,
+)
+
+
+def _quadratic_problem():
+    """Minimise ||w - target||^2; every reasonable optimiser must solve this."""
+    target = np.array([1.0, -2.0, 3.0])
+    w = Parameter(np.zeros(3))
+
+    def loss_fn():
+        diff = w - Tensor(target)
+        return (diff * diff).sum()
+
+    return w, target, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w, target, loss_fn = _quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = loss_fn()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        w1, target, loss_fn1 = _quadratic_problem()
+        opt1 = SGD([w1], lr=0.01)
+        w2 = Parameter(np.zeros(3))
+
+        def loss_fn2():
+            diff = w2 - Tensor(target)
+            return (diff * diff).sum()
+
+        opt2 = SGD([w2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for opt, loss_fn in ((opt1, loss_fn1), (opt2, loss_fn2)):
+                opt.zero_grad()
+                loss_fn().backward()
+                opt.step()
+        err_plain = np.linalg.norm(w1.data - target)
+        err_momentum = np.linalg.norm(w2.data - target)
+        assert err_momentum < err_plain
+
+    def test_weight_decay_shrinks_solution(self):
+        w, target, loss_fn = _quadratic_problem()
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < np.abs(target))
+
+    def test_invalid_hyperparameters(self):
+        w = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            SGD([w], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w, target, loss_fn = _quadratic_problem()
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(4, 1))
+        x = rng.normal(size=(64, 4))
+        y = x @ true_w
+        layer = Linear(4, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.02)
+        for _ in range(400):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+    def test_handles_missing_gradient(self):
+        w = Parameter(np.ones(3))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no backward called; should treat grad as zero, not crash
+        # weight decay is zero so parameters remain unchanged
+        np.testing.assert_allclose(w.data, np.ones(3))
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.2, 0.9))
+
+
+class TestFrequencyWeights:
+    def test_matches_paper_equation(self):
+        freq = [10, 5, 1]
+        weights = herb_frequency_weights(freq)
+        np.testing.assert_allclose(weights, [1.0, 2.0, 10.0])
+
+    def test_zero_frequency_gets_largest_observed_weight(self):
+        weights = herb_frequency_weights([4, 0, 2])
+        np.testing.assert_allclose(weights, [1.0, 2.0, 2.0])
+
+    def test_all_zero(self):
+        np.testing.assert_allclose(herb_frequency_weights([0, 0]), [1.0, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            herb_frequency_weights([1, -2])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            herb_frequency_weights(np.ones((2, 2)))
+
+
+class TestMultilabelLosses:
+    def test_perfect_prediction_is_zero(self):
+        targets = np.array([[1.0, 0.0, 1.0]])
+        preds = Tensor(targets.copy(), requires_grad=True)
+        loss = weighted_multilabel_mse(preds, targets, np.ones(3))
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_weighting_emphasises_rare_herbs(self):
+        targets = np.array([[1.0, 1.0]])
+        preds = Tensor(np.array([[0.0, 0.0]]))
+        weights = np.array([1.0, 10.0])
+        weighted = weighted_multilabel_mse(preds, targets, weights).item()
+        unweighted = multilabel_mse(preds, targets).item()
+        assert weighted == pytest.approx(11.0)
+        assert unweighted == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_multilabel_mse(Tensor(np.zeros((1, 3))), np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            weighted_multilabel_mse(Tensor(np.zeros((1, 3))), np.zeros((1, 3)), np.ones(2))
+
+    def test_gradient_direction(self):
+        targets = np.array([[1.0, 0.0]])
+        preds = Tensor(np.array([[0.0, 1.0]]), requires_grad=True)
+        loss = weighted_multilabel_mse(preds, targets, np.ones(2))
+        loss.backward()
+        # gradient should push prediction 0 up (negative grad) and prediction 1 down
+        assert preds.grad[0, 0] < 0
+        assert preds.grad[0, 1] > 0
+
+
+class TestBPRLoss:
+    def test_positive_above_negative_gives_small_loss(self):
+        pos = Tensor(np.full(8, 5.0))
+        neg = Tensor(np.full(8, -5.0))
+        assert bpr_loss(pos, neg).item() < 0.01
+
+    def test_negative_above_positive_gives_large_loss(self):
+        pos = Tensor(np.full(8, -5.0))
+        neg = Tensor(np.full(8, 5.0))
+        assert bpr_loss(pos, neg).item() > 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bpr_loss(Tensor(np.zeros(3)), Tensor(np.zeros(4)))
+
+    def test_gradient_signs(self):
+        pos = Tensor(np.zeros(4), requires_grad=True)
+        neg = Tensor(np.zeros(4), requires_grad=True)
+        bpr_loss(pos, neg).backward()
+        assert np.all(pos.grad < 0)
+        assert np.all(neg.grad > 0)
+
+
+class TestLogAndMarginLosses:
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([[0.0, 0.0]]))
+        targets = np.array([[1.0, 0.0]])
+        expected = -np.log(0.5) * 2
+        assert binary_cross_entropy_with_logits(logits, targets).item() == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(Tensor(np.zeros((1, 2))), np.zeros((2, 2)))
+
+    def test_margin_loss_prefers_separated_scores(self):
+        targets = np.array([[1.0, 0.0, 0.0]])
+        good = margin_multilabel_loss(Tensor(np.array([[5.0, -5.0, -5.0]])), targets).item()
+        bad = margin_multilabel_loss(Tensor(np.array([[-5.0, 5.0, 5.0]])), targets).item()
+        assert good < bad
+
+    def test_margin_loss_empty_positives(self):
+        targets = np.zeros((1, 3))
+        loss = margin_multilabel_loss(Tensor(np.zeros((1, 3))), targets)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_l2_penalty(self):
+        params = [Parameter(np.array([1.0, 2.0])), Parameter(np.array([[2.0]]))]
+        assert l2_penalty(params).item() == pytest.approx(1 + 4 + 4)
+
+    def test_l2_penalty_empty(self):
+        assert l2_penalty([]).item() == pytest.approx(0.0)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the autograd engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, concat, herb_frequency_weights, softmax
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_matrices(max_side=6):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_add_is_commutative(x):
+    a = Tensor(x)
+    b = Tensor(np.flip(x, axis=0).copy())
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_mean_equals_sum_over_size(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.mean().item(), t.sum().item() / x.size, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_double_transpose_is_identity(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.T.T.data, x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_tanh_bounded(x):
+    out = Tensor(x).tanh().data
+    assert np.all(out <= 1.0) and np.all(out >= -1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_relu_non_negative_and_idempotent(x):
+    t = Tensor(x)
+    once = t.relu()
+    twice = once.relu()
+    assert np.all(once.data >= 0)
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_softmax_rows_are_distributions(x):
+    probs = softmax(Tensor(x), axis=1).data
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(x.shape[0]), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices(), small_matrices())
+def test_concat_preserves_content(x, y):
+    rows = min(x.shape[0], y.shape[0])
+    a, b = Tensor(x[:rows]), Tensor(y[:rows])
+    merged = concat([a, b], axis=1).data
+    np.testing.assert_allclose(merged[:, : x.shape[1]], x[:rows])
+    np.testing.assert_allclose(merged[:, x.shape[1]:], y[:rows])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=1, max_value=30),
+        elements=st.integers(min_value=0, max_value=1000).map(float),
+    )
+)
+def test_frequency_weights_properties(freq):
+    weights = herb_frequency_weights(freq)
+    assert weights.shape == freq.shape
+    assert np.all(weights >= 1.0) or freq.max() == 0
+    positive = freq > 0
+    if positive.any() and freq.max() > 0:
+        # the most frequent herb always has weight exactly 1
+        assert np.isclose(weights[np.argmax(freq)], 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrices(max_side=5), small_matrices(max_side=5))
+def test_matmul_gradient_shapes(x, y):
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(np.resize(y, (x.shape[1], y.shape[1])), requires_grad=True)
+    out = (a @ b).sum()
+    out.backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape

@@ -1,0 +1,293 @@
+"""Unit tests for the core autograd tensor operations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concat, no_grad, softmax, stack
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_construction_from_tensor_shares_values(self):
+        base = Tensor([1.0, 2.0])
+        wrapped = Tensor(base)
+        np.testing.assert_array_equal(wrapped.data, base.data)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalar(self):
+        t = as_tensor(3.5)
+        assert t.item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b.parents == ()
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+
+    def test_backward_requires_grad_error(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_non_scalar_requires_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            out = a * 3.0
+        assert not out.requires_grad
+        assert out.parents == ()
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_add_broadcasting_backward(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_sub_backward(self):
+        a = Tensor([5.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a - b).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [1.0 / 3.0])
+        np.testing.assert_allclose(b.grad, [-6.0 / 9.0])
+
+    def test_radd_rmul_with_scalars(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (3.0 + a) * 2.0
+        out.sum().backward()
+        np.testing.assert_allclose(out.data, [8.0, 10.0])
+        np.testing.assert_allclose(a.grad, [2.0, 2.0])
+
+    def test_rsub_rtruediv(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = 10.0 - a
+        out.backward()
+        np.testing.assert_allclose(out.data, [8.0])
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.zero_grad()
+        out = 10.0 / a
+        out.backward()
+        np.testing.assert_allclose(out.data, [5.0])
+        np.testing.assert_allclose(a.grad, [-10.0 / 4.0])
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        (a ** 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [12.0, 27.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = Tensor([2.0])
+        with pytest.raises(TypeError):
+            a ** Tensor([2.0])
+
+    def test_grad_accumulates_when_reused(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * a + a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestMatmulAndShapes:
+    def test_matmul_values_and_grads(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 4)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 4)))
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.T
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_reshape_roundtrip(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        out = a.reshape(2, 3).reshape(6)
+        np.testing.assert_allclose(out.data, a.data)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_gather_rows_forward(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        rows = table.gather_rows([2, 0, 2])
+        np.testing.assert_allclose(rows.data, table.data[[2, 0, 2]])
+
+    def test_gather_rows_backward_accumulates_duplicates(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        rows = table.gather_rows([1, 1, 3])
+        rows.sum().backward()
+        expected = np.zeros((4, 2))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_allclose(table.grad, expected)
+
+    def test_getitem_row(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        row = a[1]
+        np.testing.assert_allclose(row.data, [3.0, 4.0, 5.0])
+        row.sum().backward()
+        expected = np.zeros((2, 3))
+        expected[1] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum()
+        assert out.item() == pytest.approx(6.0)
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_axis(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1)
+        np.testing.assert_allclose(out.data, [3.0, 12.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean_axis(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.mean(axis=0)
+        np.testing.assert_allclose(out.data, [1.5, 2.5, 3.5])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 0.5))
+
+    def test_mean_all(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        out = a.mean()
+        assert out.item() == pytest.approx(1.5)
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+
+class TestActivations:
+    def test_tanh(self):
+        a = Tensor([0.0, 1.0], requires_grad=True)
+        out = a.tanh()
+        np.testing.assert_allclose(out.data, np.tanh([0.0, 1.0]))
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 - np.tanh([0.0, 1.0]) ** 2)
+
+    def test_relu(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        out = a.relu()
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_sigmoid_range(self):
+        a = Tensor(np.linspace(-5, 5, 11))
+        out = a.sigmoid()
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_exp_log_inverse(self):
+        a = Tensor([0.5, 1.5], requires_grad=True)
+        out = a.exp().log()
+        np.testing.assert_allclose(out.data, a.data)
+
+    def test_sqrt(self):
+        a = Tensor([4.0, 9.0], requires_grad=True)
+        out = a.sqrt()
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25, 1.0 / 6.0])
+
+    def test_clip_blocks_gradient_outside_range(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestFunctionalOps:
+    def test_concat_forward_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 3), 2.0))
+
+    def test_concat_axis0(self):
+        a = Tensor(np.ones((1, 3)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = concat([a, b], axis=0)
+        assert out.shape == (3, 3)
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = softmax(x, axis=1)
+        np.testing.assert_allclose(probs.data.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_is_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        p1 = softmax(Tensor(x)).data
+        p2 = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(p1, p2, atol=1e-12)

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.scale == "smoke"
+        assert args.output is None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Train" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["run", "fig5", "--scale", "smoke", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "Fig. 5" in target.read_text()
+        assert str(target) in capsys.readouterr().out
+
+    def test_run_training_experiment_smoke(self, capsys):
+        assert main(["run", "fig10", "--scale", "smoke"]) == 0
+        assert "case study" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""End-to-end integration tests spanning data -> graphs -> model -> training -> evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticTCMConfig, generate_corpus, load_corpus, save_corpus
+from repro.evaluation import Evaluator
+from repro.models import SMGCN, SMGCNConfig, PopularityRecommender
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline_corpus():
+    return generate_corpus(
+        SyntheticTCMConfig(
+            num_prescriptions=600,
+            num_symptoms=40,
+            num_herbs=80,
+            num_syndromes=8,
+            symptoms_per_syndrome=8,
+            herbs_per_syndrome=12,
+            num_base_herbs=4,
+            seed=3,
+        )
+    )
+
+
+class TestFullPipeline:
+    def test_trained_smgcn_beats_popularity(self, pipeline_corpus):
+        """The headline sanity requirement: the model learns symptom-herb structure."""
+        train, test = pipeline_corpus.dataset.train_test_split(
+            test_fraction=0.15, rng=np.random.default_rng(0)
+        )
+        model = SMGCN.from_dataset(
+            train,
+            SMGCNConfig(
+                embedding_dim=16,
+                layer_dims=(32, 32),
+                symptom_threshold=2,
+                herb_threshold=4,
+                seed=0,
+            ),
+        )
+        Trainer(
+            TrainerConfig(epochs=40, batch_size=128, learning_rate=5e-3, weight_decay=1e-5, seed=0)
+        ).fit(model, train)
+        evaluator = Evaluator(test, ks=(5, 10))
+        smgcn_result = evaluator.evaluate(model, name="SMGCN")
+        popularity_result = evaluator.evaluate(
+            PopularityRecommender(train.num_herbs).fit(train), name="Popularity"
+        )
+        assert smgcn_result.metric("p@5") > popularity_result.metric("p@5")
+        assert smgcn_result.metric("ndcg@10") > popularity_result.metric("ndcg@10")
+
+    def test_roundtrip_through_disk_preserves_metrics(self, pipeline_corpus, tmp_path):
+        """Saving and reloading the corpus must not change evaluation results."""
+        dataset = pipeline_corpus.dataset
+        path = tmp_path / "corpus.tsv"
+        save_corpus(dataset, path)
+        reloaded = load_corpus(
+            path, symptom_vocab=dataset.symptom_vocab, herb_vocab=dataset.herb_vocab
+        )
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        train_a, test_a = dataset.train_test_split(test_fraction=0.2, rng=rng_a)
+        train_b, test_b = reloaded.train_test_split(test_fraction=0.2, rng=rng_b)
+        assert train_a.symptom_sets() == train_b.symptom_sets()
+        pop_a = Evaluator(test_a, ks=(5,)).evaluate(
+            PopularityRecommender(train_a.num_herbs).fit(train_a)
+        )
+        pop_b = Evaluator(test_b, ks=(5,)).evaluate(
+            PopularityRecommender(train_b.num_herbs).fit(train_b)
+        )
+        assert pop_a.metric("p@5") == pytest.approx(pop_b.metric("p@5"))
+
+    def test_recommendations_respect_latent_syndromes(self, pipeline_corpus):
+        """Recommended herbs should mostly come from the query's latent syndrome pools."""
+        corpus = pipeline_corpus
+        train, _ = corpus.dataset.train_test_split(test_fraction=0.15, rng=np.random.default_rng(0))
+        model = SMGCN.from_dataset(
+            train,
+            SMGCNConfig(embedding_dim=16, layer_dims=(32, 32), symptom_threshold=2, herb_threshold=4, seed=0),
+        )
+        Trainer(
+            TrainerConfig(epochs=30, batch_size=128, learning_rate=5e-3, weight_decay=1e-5, seed=0)
+        ).fit(model, train)
+        config = corpus.config
+        in_pool = 0
+        total = 0
+        for index in range(0, 40):
+            prescription = corpus.dataset[index]
+            syndromes = corpus.prescription_syndromes[index]
+            pool = set(range(config.num_base_herbs))
+            for syndrome in syndromes:
+                pool.update(corpus.syndrome_herbs[syndrome])
+            for herb in model.recommend(prescription.symptoms, k=5):
+                total += 1
+                in_pool += herb in pool
+        assert in_pool / total > 0.6

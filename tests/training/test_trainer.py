@@ -1,0 +1,143 @@
+"""Tests for the trainer, its configuration and the loss options."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import Evaluator
+from repro.models import SMGCN, SMGCNConfig
+from repro.training import PAPER_OPTIMAL_PARAMETERS, Trainer, TrainerConfig
+
+
+def _model(train, **overrides):
+    defaults = dict(embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0)
+    defaults.update(overrides)
+    return SMGCN.from_dataset(train, SMGCNConfig(**defaults))
+
+
+class TestTrainerConfig:
+    def test_defaults_valid(self):
+        config = TrainerConfig()
+        assert config.loss == "multilabel"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(learning_rate=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(weight_decay=-1)
+        with pytest.raises(ValueError):
+            TrainerConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(loss="hinge")
+        with pytest.raises(ValueError):
+            TrainerConfig(negative_samples=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(eval_every=0)
+
+    def test_paper_parameters_table(self):
+        assert set(PAPER_OPTIMAL_PARAMETERS) == {
+            "HC-KGETM",
+            "GC-MC",
+            "PinSage",
+            "NGCF",
+            "HeteGCN",
+            "SMGCN",
+        }
+        assert PAPER_OPTIMAL_PARAMETERS["SMGCN"]["lambda"] == pytest.approx(7e-3)
+        assert PAPER_OPTIMAL_PARAMETERS["SMGCN"]["xs"] == 5
+        assert PAPER_OPTIMAL_PARAMETERS["SMGCN"]["xh"] == 40
+
+
+class TestTrainerMultilabel:
+    def test_loss_decreases(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        config = TrainerConfig(epochs=8, batch_size=64, learning_rate=3e-3, weight_decay=1e-5, seed=0)
+        history = Trainer(config).fit(model, train)
+        assert history.num_epochs == 8
+        assert history.final_loss < history.epoch_losses[0]
+        assert history.improved()
+
+    def test_model_in_eval_mode_after_fit(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        Trainer(TrainerConfig(epochs=1, batch_size=64, learning_rate=1e-3)).fit(model, train)
+        assert not model.training
+
+    def test_training_improves_over_untrained(self, tiny_split):
+        train, test = tiny_split
+        evaluator = Evaluator(test, ks=(5,))
+        untrained = _model(train, seed=5)
+        before = evaluator.evaluate(untrained).metric("p@5")
+        trained = _model(train, seed=5)
+        Trainer(
+            TrainerConfig(epochs=25, batch_size=64, learning_rate=5e-3, weight_decay=1e-5, seed=0)
+        ).fit(trained, train)
+        after = evaluator.evaluate(trained).metric("p@5")
+        assert after > before
+
+    def test_unweighted_variant_runs(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        config = TrainerConfig(epochs=2, batch_size=64, loss="multilabel_unweighted", learning_rate=1e-3)
+        history = Trainer(config).fit(model, train)
+        assert history.num_epochs == 2
+
+    def test_logloss_variant_runs(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        config = TrainerConfig(epochs=2, batch_size=64, loss="logloss", learning_rate=1e-3)
+        history = Trainer(config).fit(model, train)
+        assert all(np.isfinite(history.epoch_losses))
+
+    def test_deterministic_given_seed(self, tiny_split):
+        train, _ = tiny_split
+        losses = []
+        for _ in range(2):
+            model = _model(train, seed=2)
+            history = Trainer(
+                TrainerConfig(epochs=3, batch_size=64, learning_rate=1e-3, seed=7)
+            ).fit(model, train)
+            losses.append(history.epoch_losses)
+        np.testing.assert_allclose(losses[0], losses[1])
+
+    def test_validation_evaluation_recorded(self, tiny_split):
+        train, test = tiny_split
+        model = _model(train)
+        evaluator = Evaluator(test, ks=(5,))
+        config = TrainerConfig(epochs=4, batch_size=64, learning_rate=1e-3, eval_every=2)
+        history = Trainer(config).fit(model, train, validation_evaluator=evaluator)
+        assert len(history.validation_metrics) == 2
+        assert "p@5" in history.validation_metrics[0]
+
+    def test_zero_epochs(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        history = Trainer(TrainerConfig(epochs=0)).fit(model, train)
+        assert history.num_epochs == 0
+        with pytest.raises(ValueError):
+            history.final_loss
+
+
+class TestTrainerBPR:
+    def test_bpr_loss_decreases(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        config = TrainerConfig(epochs=6, batch_size=64, loss="bpr", learning_rate=3e-3, seed=0)
+        history = Trainer(config).fit(model, train)
+        assert history.final_loss < history.epoch_losses[0]
+
+    def test_bpr_loss_positive(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        config = TrainerConfig(epochs=1, batch_size=64, loss="bpr", learning_rate=1e-3, seed=0)
+        history = Trainer(config).fit(model, train)
+        assert history.epoch_losses[0] > 0
+
+    def test_bpr_multiple_negative_samples(self, tiny_split):
+        train, _ = tiny_split
+        model = _model(train)
+        config = TrainerConfig(
+            epochs=1, batch_size=64, loss="bpr", negative_samples=3, learning_rate=1e-3, seed=0
+        )
+        history = Trainer(config).fit(model, train)
+        assert np.isfinite(history.final_loss)
