@@ -1,0 +1,143 @@
+"""Benchmark — cached-propagation inference vs the seed's per-chunk scoring.
+
+The seed evaluator re-ran the full multi-graph propagation (``encode()``) for
+every 256-row chunk even though parameters are frozen during scoring.  The
+:class:`~repro.inference.InferenceEngine` propagates once and serves every
+chunk from the cached node embeddings, so scoring throughput scales with the
+number of queries rather than the number of propagations.
+
+Runs standalone too (CI smoke): ``python benchmarks/bench_inference_throughput.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.datasets import experiment_split, get_profile
+from repro.inference import InferenceEngine
+from repro.models import SMGCN, SMGCNConfig
+from repro.nn import no_grad
+
+#: Chunk size for both paths; small enough that the seed path's per-chunk
+#: propagation dominates, matching many-small-request serving traffic.
+CHUNK_SIZE = 16
+NUM_QUERIES = {"smoke": 512, "default": 1024}
+#: Best-of-N timing to keep the assertion stable on noisy CI machines.
+TIMING_REPEATS = 3
+
+
+def _build(scale):
+    # Always benchmark on the full synthetic corpus: throughput on the toy
+    # smoke graphs is meaningless (propagation is ~free there).  The scale
+    # argument only controls how many queries are replayed.
+    profile = get_profile("default")
+    train, test = experiment_split("default")
+    # Paper-sized embedding dims (Table III): the serving workload the engine
+    # targets, where the multi-graph propagation is the expensive step.
+    config = SMGCNConfig(
+        embedding_dim=64,
+        layer_dims=(128, 256),
+        symptom_threshold=profile.symptom_threshold,
+        herb_threshold=profile.herb_threshold,
+        seed=0,
+    )
+    model = SMGCN.from_dataset(train, config)
+    base_sets = test.symptom_sets()
+    repeats = -(-NUM_QUERIES[scale] // len(base_sets))
+    queries = (base_sets * repeats)[: NUM_QUERIES[scale]]
+    return model, queries
+
+
+def _best_of(func, repeats=TIMING_REPEATS):
+    """Minimum wall-clock over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def seed_score_matrix(model, symptom_sets, chunk_size=CHUNK_SIZE):
+    """The seed's scoring loop: one full-graph propagation per chunk."""
+    was_training = model.training
+    model._apply_training_flag(False)
+    rows = []
+    try:
+        with no_grad():
+            for start in range(0, len(symptom_sets), chunk_size):
+                chunk = symptom_sets[start : start + chunk_size]
+                rows.append(model.forward(chunk).data.copy())
+    finally:
+        model._apply_training_flag(was_training)
+    return np.vstack(rows)
+
+
+def measure(scale="smoke"):
+    """Time both paths; returns a dict with timings, speedup and agreement."""
+    model, queries = _build(scale)
+
+    # Warm both code paths (BLAS thread pools, scipy buffers) before timing.
+    warm = queries[:CHUNK_SIZE]
+    seed_score_matrix(model, warm)
+    engine = InferenceEngine(model, batch_size=CHUNK_SIZE)
+    engine.score_batch(warm)
+
+    seed_seconds, seed_scores = _best_of(lambda: seed_score_matrix(model, queries))
+
+    def cached_run():
+        model.invalidate_cache()
+        return engine.score_batch(queries)
+
+    cached_seconds, cached_scores = _best_of(cached_run)
+
+    return {
+        "scale": scale,
+        "num_queries": len(queries),
+        "seed_seconds": seed_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": seed_seconds / cached_seconds,
+        "seed_qps": len(queries) / seed_seconds,
+        "cached_qps": len(queries) / cached_seconds,
+        "max_abs_diff": float(np.abs(seed_scores - cached_scores).max()),
+        "propagations": model.propagation_count,
+    }
+
+
+def _report(stats):
+    return (
+        f"scale={stats['scale']} queries={stats['num_queries']} chunk={CHUNK_SIZE}\n"
+        f"seed (re-propagate per chunk): {stats['seed_seconds']:.3f}s "
+        f"({stats['seed_qps']:.0f} queries/s)\n"
+        f"cached propagation:            {stats['cached_seconds']:.3f}s "
+        f"({stats['cached_qps']:.0f} queries/s)\n"
+        f"speedup: {stats['speedup']:.1f}x   max |score diff|: {stats['max_abs_diff']:.2e}"
+    )
+
+
+def test_inference_throughput(benchmark, bench_scale):
+    from _bench_utils import record_report, run_once
+
+    stats = run_once(benchmark, lambda: measure(bench_scale))
+    record_report("Inference throughput — cached propagation vs seed", _report(stats))
+    assert stats["max_abs_diff"] < 1e-8, "cached scores must match the seed path"
+    assert stats["speedup"] >= 5.0, f"expected >= 5x speedup, got {stats['speedup']:.1f}x"
+
+
+if __name__ == "__main__":
+    import sys
+
+    stats = measure("smoke")
+    print(_report(stats))
+    # Correctness is a hard failure; the wall-clock ratio only warns here so a
+    # noisy shared CI runner cannot fail an unrelated PR (the pytest harness
+    # above still asserts the 5x floor).
+    if stats["max_abs_diff"] >= 1e-8:
+        raise SystemExit("cached scores diverged from the seed scoring path")
+    if stats["speedup"] < 5.0:
+        print(
+            f"warning: speedup {stats['speedup']:.1f}x below the 5x target "
+            "(noisy machine?)",
+            file=sys.stderr,
+        )

@@ -6,9 +6,16 @@ Examples::
     python -m repro run table4 --scale smoke
     python -m repro run fig7 --scale default --output fig7.txt
     python -m repro all --scale smoke
+    python -m repro predict --scale smoke --symptoms "symptom_003 symptom_014" --k 5
+    echo "symptom_003 symptom_014" | python -m repro serve --scale smoke
 
 ``list`` prints the registered experiments, ``run`` executes one experiment and
 prints (or writes) its table/series, and ``all`` runs the full suite.
+
+``predict`` trains a model on the chosen scale's corpus and prints the top-k
+herbs for one symptom set; ``serve`` keeps the trained model resident and
+answers one symptom set per stdin line from the cached graph propagation, so
+every request after the first costs only a sparse pooling matmul.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .experiments import EXPERIMENTS, run_experiment
 
@@ -41,7 +48,31 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
     all_parser.add_argument("--output", default=None, help="write the combined report to this file")
+
+    predict_parser = subparsers.add_parser(
+        "predict", help="train a model and print top-k herbs for one symptom set"
+    )
+    _add_serving_arguments(predict_parser)
+    predict_parser.add_argument(
+        "--symptoms",
+        required=True,
+        help="whitespace-separated symptom tokens (or integer ids) to score",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="answer one symptom set per stdin line from the cached propagation"
+    )
+    _add_serving_arguments(serve_parser)
     return parser
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
+    parser.add_argument("--model", default="SMGCN", help="neural model name (default: SMGCN)")
+    parser.add_argument("--k", type=int, default=10, help="number of herbs to recommend")
+    parser.add_argument(
+        "--epochs", type=int, default=None, help="override the profile's training epochs"
+    )
 
 
 def _render(result) -> str:
@@ -54,6 +85,104 @@ def _emit(text: str, output: Optional[str]) -> None:
     else:
         Path(output).write_text(text + "\n", encoding="utf-8")
         print(f"wrote {output}")
+
+
+def _parse_symptoms(raw: str, vocab) -> List[int]:
+    """Map whitespace-separated tokens (or integer ids) to symptom ids."""
+    tokens = raw.split()
+    if not tokens:
+        raise ValueError("no symptoms given")
+    ids: List[int] = []
+    for token in tokens:
+        if token.lstrip("-").isdigit():
+            symptom_id = int(token)
+            if not 0 <= symptom_id < len(vocab):
+                raise ValueError(f"symptom id {symptom_id} out of range [0, {len(vocab)})")
+            ids.append(symptom_id)
+        elif token in vocab:
+            ids.append(vocab.id_of(token))
+        else:
+            raise ValueError(f"unknown symptom token {token!r}")
+    return ids
+
+
+def _load_vocabs(scale: str):
+    """The ``(symptom, herb)`` vocabularies for a scale — cheap (lru-cached split)."""
+    from .experiments.datasets import experiment_split
+
+    train, _ = experiment_split(scale)
+    return train.symptom_vocab, train.herb_vocab
+
+
+def _build_engine(args):
+    """Train the requested model and wrap it in a warmed-up inference engine."""
+    from .experiments.datasets import get_profile
+    from .experiments.runners import build_inference_engine
+
+    profile = get_profile(args.scale)
+    trainer_config = None
+    if args.epochs is not None:
+        trainer_config = profile.trainer_config(epochs=args.epochs)
+    return build_inference_engine(args.model, scale=args.scale, trainer_config=trainer_config)
+
+
+def _format_recommendation(recommendation, herb_vocab) -> str:
+    lines = []
+    for rank, (herb_id, score) in enumerate(
+        zip(recommendation.herb_ids, recommendation.scores), start=1
+    ):
+        lines.append(f"{rank:>3}. {herb_vocab.token_of(herb_id):<20} id={herb_id:<5} score={score:+.4f}")
+    return "\n".join(lines)
+
+
+def _check_k(args) -> Optional[int]:
+    if args.k <= 0:
+        print("error: --k must be a positive integer", file=sys.stderr)
+        return 2
+    return None
+
+
+def _run_predict(args) -> int:
+    error = _check_k(args)
+    if error is not None:
+        return error
+    # validate the symptom set before paying for training
+    symptom_vocab, herb_vocab = _load_vocabs(args.scale)
+    try:
+        symptom_ids = _parse_symptoms(args.symptoms, symptom_vocab)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    engine = _build_engine(args)
+    recommendation = engine.recommend(symptom_ids, k=args.k)
+    print(f"symptoms: {' '.join(symptom_vocab.decode(symptom_ids))}")
+    print(_format_recommendation(recommendation, herb_vocab))
+    return 0
+
+
+def _run_serve(args) -> int:
+    error = _check_k(args)
+    if error is not None:
+        return error
+    symptom_vocab, herb_vocab = _load_vocabs(args.scale)
+    engine = _build_engine(args)
+    print(
+        f"ready: {args.model} ({args.scale}); one symptom set per line, blank line or EOF quits",
+        file=sys.stderr,
+    )
+    for raw_line in sys.stdin:
+        line = raw_line.strip()
+        if not line:
+            break
+        try:
+            symptom_ids = _parse_symptoms(line, symptom_vocab)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            continue
+        recommendation = engine.recommend(symptom_ids, k=args.k)
+        tokens = " ".join(herb_vocab.token_of(h) for h in recommendation.herb_ids)
+        print(tokens, flush=True)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -76,6 +205,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sections.append(f"[{experiment_id}] {spec.title}\n{_render(result)}")
         _emit("\n\n".join(sections), args.output)
         return 0
+    if args.command == "predict":
+        return _run_predict(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

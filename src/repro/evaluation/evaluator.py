@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.prescriptions import PrescriptionDataset
-from ..models.base import HerbRecommender
+from ..models.base import GraphHerbRecommender, HerbRecommender
 from .metrics import evaluate_ranking
 
 __all__ = ["EvaluationResult", "Evaluator"]
@@ -62,18 +62,34 @@ class Evaluator:
         self._herb_sets = test_dataset.herb_sets()
 
     def score_matrix(self, model: HerbRecommender) -> np.ndarray:
-        """Model scores for every test prescription, computed in batches."""
+        """Model scores for every test prescription, computed in batches.
+
+        Neural graph models are scored through the cached-propagation
+        :class:`~repro.inference.InferenceEngine`, so the full-graph
+        ``encode()`` runs once per evaluation rather than once per chunk.
+        """
+        if isinstance(model, GraphHerbRecommender):
+            from ..inference.engine import InferenceEngine
+
+            scores = InferenceEngine(model, batch_size=self.batch_size).score_batch(
+                self._symptom_sets
+            )
+            self._check_shape(scores, len(self._symptom_sets))
+            return scores
         rows = []
         for start in range(0, len(self._symptom_sets), self.batch_size):
             chunk = self._symptom_sets[start : start + self.batch_size]
             scores = model.score_sets(chunk)
-            if scores.shape != (len(chunk), self.test_dataset.num_herbs):
-                raise ValueError(
-                    f"model returned scores of shape {scores.shape}, expected "
-                    f"({len(chunk)}, {self.test_dataset.num_herbs})"
-                )
+            self._check_shape(scores, len(chunk))
             rows.append(scores)
         return np.vstack(rows)
+
+    def _check_shape(self, scores: np.ndarray, num_rows: int) -> None:
+        if scores.shape != (num_rows, self.test_dataset.num_herbs):
+            raise ValueError(
+                f"model returned scores of shape {scores.shape}, expected "
+                f"({num_rows}, {self.test_dataset.num_herbs})"
+            )
 
     def evaluate(self, model: HerbRecommender, name: Optional[str] = None) -> EvaluationResult:
         """Compute p/r/ndcg at every ``k`` for ``model`` on the test split."""

@@ -34,54 +34,76 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     return partition[row_indices, order]
 
 
-def _hit_matrix(top_k: np.ndarray, truth_sets: Sequence[Sequence[int]]) -> np.ndarray:
-    hits = np.zeros_like(top_k, dtype=np.float64)
-    for row, truth in enumerate(truth_sets):
-        truth_set = set(truth)
-        if not truth_set:
-            continue
-        hits[row] = [1.0 if herb in truth_set else 0.0 for herb in top_k[row]]
-    return hits
+def _truth_matrix(truth_sets: Sequence[Sequence[int]], num_items: int) -> np.ndarray:
+    """Boolean multi-hot matrix: ``truth[row, item]`` iff ``item`` is relevant."""
+    truth = np.zeros((len(truth_sets), num_items), dtype=bool)
+    lengths = np.array([len(t) for t in truth_sets], dtype=np.int64)
+    if lengths.sum() == 0:
+        return truth
+    rows = np.repeat(np.arange(len(truth_sets), dtype=np.int64), lengths)
+    cols = np.concatenate([np.asarray(t, dtype=np.int64) for t in truth_sets if len(t)])
+    if cols.min() < 0 or cols.max() >= num_items:
+        raise ValueError(f"truth ids must lie in [0, {num_items}); got range [{cols.min()}, {cols.max()}]")
+    truth[rows, cols] = True
+    return truth
+
+
+def _gather_hits(top: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """``hits[row, j]`` is True when the ``j``-th recommendation is relevant."""
+    return truth[np.arange(top.shape[0])[:, None], top]
+
+
+def _precision(top: np.ndarray, truth: np.ndarray) -> float:
+    """Eq. 16: hits over the *effective* list length ``min(k, num_herbs)``.
+
+    When fewer than ``k`` herbs exist every herb is recommended, and dividing
+    by the requested ``k`` would deflate the score of a perfect ranking.
+    """
+    return float(_gather_hits(top, truth).sum(axis=1).mean() / top.shape[1])
+
+
+def _recall(top: np.ndarray, truth: np.ndarray) -> float:
+    hits = _gather_hits(top, truth)
+    relevant = truth.sum(axis=1)
+    valid = relevant > 0
+    if not valid.any():
+        return 0.0
+    return float((hits.sum(axis=1)[valid] / relevant[valid]).mean())
+
+
+def _ndcg(top: np.ndarray, truth: np.ndarray) -> float:
+    hits = _gather_hits(top, truth).astype(np.float64)
+    k_eff = top.shape[1]
+    discounts = 1.0 / np.log2(np.arange(2, k_eff + 2))
+    relevant = truth.sum(axis=1)
+    valid = relevant > 0
+    if not valid.any():
+        return 0.0
+    dcg = hits @ discounts
+    ideal_hits = np.minimum(relevant, k_eff)
+    idcg_table = np.concatenate([[0.0], np.cumsum(discounts)])
+    idcg = idcg_table[ideal_hits]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ndcgs = np.where(idcg > 0, dcg / np.maximum(idcg, 1e-300), 0.0)
+    return float(ndcgs[valid].mean())
 
 
 def precision_at_k(scores: np.ndarray, truth_sets: Sequence[Sequence[int]], k: int) -> float:
     """Mean fraction of the top-``k`` recommendations that are true herbs (Eq. 16)."""
     _validate(scores, truth_sets)
-    top = top_k_indices(scores, k)
-    hits = _hit_matrix(top, truth_sets)
-    return float(hits.sum(axis=1).mean() / k)
+    return _precision(top_k_indices(scores, k), _truth_matrix(truth_sets, scores.shape[1]))
 
 
 def recall_at_k(scores: np.ndarray, truth_sets: Sequence[Sequence[int]], k: int) -> float:
     """Mean fraction of true herbs covered by the top-``k`` recommendations (Eq. 17)."""
     _validate(scores, truth_sets)
-    top = top_k_indices(scores, k)
-    hits = _hit_matrix(top, truth_sets)
-    recalls = []
-    for row, truth in enumerate(truth_sets):
-        if len(truth) == 0:
-            continue
-        recalls.append(hits[row].sum() / len(set(truth)))
-    return float(np.mean(recalls)) if recalls else 0.0
+    return _recall(top_k_indices(scores, k), _truth_matrix(truth_sets, scores.shape[1]))
 
 
 def ndcg_at_k(scores: np.ndarray, truth_sets: Sequence[Sequence[int]], k: int) -> float:
     """Normalised Discounted Cumulative Gain at ``k`` with binary relevance (Eq. 18)."""
     _validate(scores, truth_sets)
-    top = top_k_indices(scores, k)
-    hits = _hit_matrix(top, truth_sets)
-    k_eff = top.shape[1]
-    discounts = 1.0 / np.log2(np.arange(2, k_eff + 2))
-    ndcgs = []
-    for row, truth in enumerate(truth_sets):
-        num_relevant = len(set(truth))
-        if num_relevant == 0:
-            continue
-        dcg = float((hits[row] * discounts).sum())
-        ideal_hits = min(num_relevant, k_eff)
-        idcg = float(discounts[:ideal_hits].sum())
-        ndcgs.append(dcg / idcg if idcg > 0 else 0.0)
-    return float(np.mean(ndcgs)) if ndcgs else 0.0
+    return _ndcg(top_k_indices(scores, k), _truth_matrix(truth_sets, scores.shape[1]))
 
 
 def evaluate_ranking(
@@ -89,12 +111,20 @@ def evaluate_ranking(
     truth_sets: Sequence[Sequence[int]],
     ks: Iterable[int] = (5, 10, 20),
 ) -> Dict[str, float]:
-    """All three metrics at every requested ``k``, keyed like ``p@5`` / ``r@10`` / ``ndcg@20``."""
+    """All three metrics at every requested ``k``, keyed like ``p@5`` / ``r@10`` / ``ndcg@20``.
+
+    The truth matrix is ``k``-independent and the top-``k`` indices are shared
+    by the three metrics, so both are computed once per call / per ``k``
+    rather than once per metric — this sits on the evaluation hot path.
+    """
+    _validate(scores, truth_sets)
+    truth = _truth_matrix(truth_sets, scores.shape[1])
     results: Dict[str, float] = {}
     for k in ks:
-        results[f"p@{k}"] = precision_at_k(scores, truth_sets, k)
-        results[f"r@{k}"] = recall_at_k(scores, truth_sets, k)
-        results[f"ndcg@{k}"] = ndcg_at_k(scores, truth_sets, k)
+        top = top_k_indices(scores, k)
+        results[f"p@{k}"] = _precision(top, truth)
+        results[f"r@{k}"] = _recall(top, truth)
+        results[f"ndcg@{k}"] = _ndcg(top, truth)
     return results
 
 

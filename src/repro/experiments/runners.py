@@ -10,6 +10,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..data.knowledge_graph import build_kg_from_latent
 from ..evaluation.evaluator import EvaluationResult, Evaluator
+from ..inference.engine import InferenceEngine
 from ..models import (
     GCMC,
     GCMCConfig,
@@ -35,6 +36,7 @@ __all__ = [
     "train_neural_model",
     "train_hc_kgetm",
     "train_and_evaluate",
+    "build_inference_engine",
 ]
 
 NEURAL_MODEL_NAMES = ("GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN")
@@ -109,6 +111,24 @@ def train_hc_kgetm(scale: str = "default", **config_overrides) -> HCKGETM:
         **config_overrides,
     )
     return HCKGETM(train.num_symptoms, train.num_herbs, config).fit(train, kg)
+
+
+def build_inference_engine(
+    name: str = "SMGCN",
+    scale: str = "default",
+    trainer_config: Optional[TrainerConfig] = None,
+    batch_size: int = 1024,
+    **model_overrides,
+) -> InferenceEngine:
+    """Train a neural model on the profile's split and wrap it for serving.
+
+    The returned engine is warmed up: the full-graph propagation has already
+    run, so the first request is as fast as every other one.
+    """
+    model, _ = train_neural_model(
+        name, scale=scale, trainer_config=trainer_config, **model_overrides
+    )
+    return InferenceEngine(model, batch_size=batch_size).warm_up()
 
 
 def train_and_evaluate(

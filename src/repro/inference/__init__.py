@@ -1,0 +1,13 @@
+"""Serving layer: cached-propagation inference over trained recommenders.
+
+The training-time forward pass re-runs the full-graph propagation on every
+call because parameters change between batches.  At inference time parameters
+are frozen, so :class:`InferenceEngine` propagates once, caches the node
+embeddings and serves every subsequent scoring / top-k request from the cache
+with sparse (CSR) pooling — turning evaluation and serving into pure
+matrix-multiply work.
+"""
+
+from .engine import InferenceEngine, Recommendation
+
+__all__ = ["InferenceEngine", "Recommendation"]

@@ -1,0 +1,116 @@
+"""Cached-propagation inference engine for the neural graph recommenders.
+
+``Evaluator`` and the serving CLI both need the same hot path: score many
+symptom sets against every herb without re-running the full-graph propagation
+per batch.  :class:`InferenceEngine` wraps a :class:`GraphHerbRecommender`,
+keeps the propagated symptom/herb embeddings cached (delegating staleness
+tracking to the model's parameter-version fingerprint) and answers
+
+* :meth:`score_batch` — the ``(num_sets, num_herbs)`` score matrix,
+* :meth:`recommend_batch` / :meth:`recommend` — top-k herb ids,
+
+chunking large requests so the CSR pooling matrices stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..evaluation.metrics import top_k_indices
+from ..models.base import GraphHerbRecommender
+
+__all__ = ["InferenceEngine", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Top-k herbs for one symptom set, with their scores."""
+
+    herb_ids: Tuple[int, ...]
+    scores: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.herb_ids)
+
+
+class InferenceEngine:
+    """Serve herb scores and top-k recommendations from cached embeddings."""
+
+    def __init__(self, model: GraphHerbRecommender, batch_size: int = 1024) -> None:
+        if not isinstance(model, GraphHerbRecommender):
+            raise TypeError(
+                f"InferenceEngine requires a GraphHerbRecommender, got {type(model).__name__}"
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    # Cache handling
+    # ------------------------------------------------------------------
+    def warm_up(self) -> "InferenceEngine":
+        """Force the propagation now (e.g. before taking traffic)."""
+        self.model.cached_encode()
+        return self
+
+    def refresh(self) -> "InferenceEngine":
+        """Drop and recompute the cached propagation."""
+        self.model.invalidate_cache()
+        self.model.precompute()
+        return self
+
+    @property
+    def embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached ``(symptom, herb)`` embedding arrays (refreshed if stale)."""
+        return self.model.cached_encode()
+
+    @property
+    def num_herbs(self) -> int:
+        return self.model.num_herbs
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_batch(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Herb scores for every symptom set, one propagation total.
+
+        Delegates to ``model.score_sets`` chunk by chunk — the model serves
+        every chunk from the cached propagation (refreshed here once if
+        stale), so only the syndrome induction (sparse CSR pooling + MLP)
+        runs per chunk.  Going through ``score_sets`` keeps a single scoring
+        implementation and respects subclass overrides.
+        """
+        if len(symptom_sets) == 0:
+            return np.zeros((0, self.model.num_herbs), dtype=np.float64)
+        self.model.cached_encode()
+        rows: List[np.ndarray] = [
+            self.model.score_sets(symptom_sets[start : start + self.batch_size])
+            for start in range(0, len(symptom_sets), self.batch_size)
+        ]
+        return np.vstack(rows)
+
+    def recommend_batch(self, symptom_sets: Sequence[Sequence[int]], k: int = 20) -> List[Recommendation]:
+        """Top-``k`` recommendations for every symptom set."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scores = self.score_batch(symptom_sets)
+        if scores.shape[0] == 0:
+            return []
+        top = top_k_indices(scores, k)
+        row_indices = np.arange(scores.shape[0])[:, None]
+        top_scores = scores[row_indices, top]
+        return [
+            Recommendation(
+                herb_ids=tuple(int(h) for h in top[row]),
+                scores=tuple(float(s) for s in top_scores[row]),
+            )
+            for row in range(scores.shape[0])
+        ]
+
+    def recommend(self, symptom_set: Sequence[int], k: int = 20) -> Recommendation:
+        """Top-``k`` recommendation for one symptom set."""
+        return self.recommend_batch([tuple(symptom_set)], k=k)[0]

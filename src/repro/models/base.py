@@ -16,7 +16,7 @@ scores, from which top-k recommendations and the ranking metrics follow.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +63,9 @@ class GraphHerbRecommender(Module, HerbRecommender):
             raise ValueError("vocabulary sizes must be positive")
         self._num_symptoms = num_symptoms
         self._num_herbs = num_herbs
+        self._encode_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._encode_cache_version: Optional[Tuple[int, int]] = None
+        self._propagation_count = 0  # instrumentation: total full-graph propagations
 
     # ------------------------------------------------------------------
     # Protocol properties
@@ -95,13 +98,80 @@ class GraphHerbRecommender(Module, HerbRecommender):
         syndrome = self.induce_syndrome(symptom_embeddings, symptom_sets)
         return syndrome @ herb_embeddings.T
 
-    def score_sets(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
-        """Evaluation-mode scoring: no dropout, no autograd graph."""
+    # ------------------------------------------------------------------
+    # Cached graph propagation (serving / evaluation hot path)
+    # ------------------------------------------------------------------
+    def parameter_version(self) -> Tuple[int, int]:
+        """A cheap fingerprint of the trainable state: ``(count, sum of versions)``.
+
+        Optimiser steps and ``load_state_dict`` bump each parameter's version,
+        so any in-place update changes the fingerprint without hashing data.
+        """
+        count = 0
+        total = 0
+        for param in self.parameters():
+            count += 1
+            total += getattr(param, "version", 0)
+        return (count, total)
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached node embeddings (next scoring call re-propagates)."""
+        self._encode_cache = None
+        self._encode_cache_version = None
+
+    def precompute(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Run one full-graph propagation in eval mode and cache the result.
+
+        Returns ``(symptom_embeddings, herb_embeddings)`` as plain arrays.
+        The cache is keyed by :meth:`parameter_version`, so it survives any
+        number of scoring calls and invalidates as soon as an optimiser step
+        (or an explicit :meth:`train`/:meth:`invalidate_cache`) mutates state.
+        """
         was_training = self.training
-        self.eval()
+        self._apply_training_flag(False)
         try:
             with no_grad():
-                scores = self.forward(symptom_sets).data.copy()
+                symptom_embeddings, herb_embeddings = self.encode()
         finally:
-            self.train(was_training)
-        return scores
+            self._apply_training_flag(was_training)
+        self._propagation_count += 1
+        cache = (symptom_embeddings.data.copy(), herb_embeddings.data.copy())
+        self._encode_cache = cache
+        self._encode_cache_version = self.parameter_version()
+        return cache
+
+    def cached_encode(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached ``(symptom, herb)`` embedding arrays, refreshed if stale."""
+        if self._encode_cache is not None and self._encode_cache_version == self.parameter_version():
+            return self._encode_cache
+        return self.precompute()
+
+    @property
+    def propagation_count(self) -> int:
+        """How many full-graph propagations :meth:`precompute` has run."""
+        return self._propagation_count
+
+    def train(self, mode: bool = True) -> "GraphHerbRecommender":
+        """Entering training mode marks the cached propagation dirty."""
+        if mode:
+            self.invalidate_cache()
+        return super().train(mode)
+
+    def score_sets(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Evaluation-mode scoring: no dropout, no autograd graph.
+
+        Served from the cached propagation: the expensive full-graph
+        ``encode()`` runs at most once while the parameters are frozen, no
+        matter how many batches are scored.  Only the per-batch syndrome
+        induction (pooling + MLP) is recomputed here.
+        """
+        symptom_embeddings, herb_embeddings = self.cached_encode()
+        was_training = self.training
+        self._apply_training_flag(False)
+        try:
+            with no_grad():
+                syndrome = self.induce_syndrome(Tensor(symptom_embeddings), symptom_sets)
+                scores = (syndrome @ Tensor(herb_embeddings).T).data
+        finally:
+            self._apply_training_flag(was_training)
+        return np.array(scores, dtype=np.float64)

@@ -36,7 +36,7 @@ from .ops import (
     stack,
 )
 from .optim import SGD, Adam, Optimizer
-from .sparse import SparseMatrix, sparse_matmul
+from .sparse import SparseMatrix, build_pooling_matrix, sparse_matmul
 from .tensor import Parameter, Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -56,6 +56,7 @@ __all__ = [
     "Optimizer",
     "SparseMatrix",
     "sparse_matmul",
+    "build_pooling_matrix",
     "concat",
     "stack",
     "softmax",

@@ -63,10 +63,18 @@ class Module:
     # Training state
     # ------------------------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
-        """Set training mode recursively (affects dropout)."""
+        """Set training mode recursively (affects dropout).
+
+        Subclasses that cache derived state override this to invalidate when
+        entering training mode; :meth:`_apply_training_flag` flips the flags
+        without running those hooks (used internally by cached scoring paths).
+        """
+        return self._apply_training_flag(mode)
+
+    def _apply_training_flag(self, mode: bool) -> "Module":
         object.__setattr__(self, "training", mode)
         for module in self._modules.values():
-            module.train(mode)
+            module._apply_training_flag(mode)
         return self
 
     def eval(self) -> "Module":
@@ -99,6 +107,8 @@ class Module:
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
                 )
             param.data = value.copy()
+            if hasattr(param, "bump_version"):
+                param.bump_version()
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .sparse import build_pooling_matrix, sparse_matmul
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -101,15 +102,14 @@ def mean_pool_rows(table: Tensor, indices) -> Tensor:
 def scatter_mean(table: Tensor, index_lists: Sequence[Sequence[int]]) -> Tensor:
     """Mean-pool rows of ``table`` for every index list in ``index_lists``.
 
-    Builds a sparse-like pooling matrix of shape ``(len(index_lists), rows)``
-    so that a whole batch of sets can be pooled with one matmul.  Used by the
-    Syndrome Induction component to pool symptom embeddings per prescription.
+    Builds a CSR pooling matrix of shape ``(len(index_lists), rows)`` so that
+    a whole batch of sets is pooled with one sparse matmul.  Duplicate indices
+    within a set accumulate (COO assembly sums repeated entries), so the result
+    is the exact arithmetic mean over the multiset — the previous dense
+    ``pool[i, indices] = 1/len`` assignment silently dropped repeats.  Used by
+    the Syndrome Induction component to pool symptom embeddings per
+    prescription.
     """
     table = as_tensor(table)
-    num_rows = table.shape[0]
-    pool = np.zeros((len(index_lists), num_rows), dtype=np.float64)
-    for i, indices in enumerate(index_lists):
-        if len(indices) == 0:
-            continue
-        pool[i, list(indices)] = 1.0 / len(indices)
-    return Tensor(pool) @ table
+    pool = build_pooling_matrix(index_lists, table.shape[0], normalize="mean")
+    return sparse_matmul(pool, table)

@@ -42,6 +42,12 @@ class Optimizer:
             grad = grad + self.weight_decay * param.data
         return grad
 
+    @staticmethod
+    def _mark_updated(param: Parameter) -> None:
+        """Bump the parameter's version so cached encodings invalidate."""
+        if isinstance(param, Parameter):
+            param.bump_version()
+
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -76,6 +82,7 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data = param.data - self.lr * update
+            self._mark_updated(param)
 
 
 class Adam(Optimizer):
@@ -116,3 +123,4 @@ class Adam(Optimizer):
             m_hat = m / (1.0 - self.beta1 ** t)
             v_hat = v / (1.0 - self.beta2 ** t)
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._mark_updated(param)

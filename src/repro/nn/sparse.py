@@ -9,14 +9,14 @@ pass proportional to the number of edges rather than ``|V|^2``.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from .tensor import Tensor, as_tensor
 
-__all__ = ["SparseMatrix", "sparse_matmul"]
+__all__ = ["SparseMatrix", "sparse_matmul", "build_pooling_matrix"]
 
 
 class SparseMatrix:
@@ -64,6 +64,44 @@ class SparseMatrix:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def build_pooling_matrix(
+    index_lists: Sequence[Sequence[int]],
+    num_columns: int,
+    normalize: str = "mean",
+) -> SparseMatrix:
+    """Build a CSR matrix ``P`` such that ``P @ X`` pools rows of ``X`` per set.
+
+    Row ``i`` of ``P`` carries weight ``1/len(index_lists[i])`` (``"mean"``) or
+    ``1.0`` (``"sum"``) on every column listed in ``index_lists[i]``.  The
+    matrix is assembled in COO form, whose conversion to CSR *sums* duplicate
+    entries — an index appearing twice in a set therefore contributes twice to
+    the pooled value, giving the exact arithmetic mean over the multiset.
+    Empty sets produce all-zero rows.
+    """
+    if normalize not in ("mean", "sum"):
+        raise ValueError(f"normalize must be 'mean' or 'sum', got {normalize!r}")
+    if num_columns <= 0:
+        raise ValueError("num_columns must be positive")
+    arrays = [np.asarray(indices, dtype=np.int64) for indices in index_lists]
+    lengths = np.array([a.size for a in arrays], dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        empty = sp.csr_matrix((len(index_lists), num_columns), dtype=np.float64)
+        return SparseMatrix(empty)
+    cols = np.concatenate([a for a in arrays if a.size]) if arrays else np.empty(0, np.int64)
+    if cols.size and (cols.min() < 0 or cols.max() >= num_columns):
+        raise IndexError(f"pooling indices out of range [0, {num_columns})")
+    rows = np.repeat(np.arange(len(index_lists), dtype=np.int64), lengths)
+    if normalize == "mean":
+        weights = np.repeat(1.0 / np.maximum(lengths, 1), lengths)
+    else:
+        weights = np.ones(total, dtype=np.float64)
+    coo = sp.coo_matrix(
+        (weights, (rows, cols)), shape=(len(index_lists), num_columns), dtype=np.float64
+    )
+    return SparseMatrix(coo.tocsr())
 
 
 def sparse_matmul(matrix: SparseMatrix, dense: Union[Tensor, np.ndarray]) -> Tensor:

@@ -441,10 +441,22 @@ class Parameter(Tensor):
 
     Modules register :class:`Parameter` attributes automatically so that
     optimisers can discover them through ``Module.parameters()``.
+
+    Every in-place update (optimiser step, ``load_state_dict``) bumps
+    :attr:`version`; consumers that cache values derived from parameters
+    (e.g. the cached graph-propagation path of the recommenders) compare
+    versions to detect staleness without hashing the data.
     """
+
+    __slots__ = ("version",)
 
     def __init__(self, data: ArrayLike, name: Optional[str] = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
+        self.version: int = 0
+
+    def bump_version(self) -> None:
+        """Mark the parameter as mutated in place."""
+        self.version += 1
 
 
 def as_tensor(value: ArrayLike) -> Tensor:

@@ -61,6 +61,10 @@ class TrainingHistory:
 class Trainer:
     """Train a :class:`GraphHerbRecommender` on a prescription corpus."""
 
+    #: Rounds of vectorized rejection sampling for BPR negatives before the
+    #: exact complement-sampling fallback kicks in.
+    MAX_NEGATIVE_RESAMPLE_ROUNDS = 16
+
     def __init__(self, config: Optional[TrainerConfig] = None) -> None:
         self.config = config if config is not None else TrainerConfig()
 
@@ -134,26 +138,59 @@ class Trainer:
     def _bpr_batch_loss(
         self, model: GraphHerbRecommender, batch: Batch, rng: np.random.Generator
     ) -> Tensor:
-        """Sample (positive, negative) herb pairs per prescription and apply BPR."""
+        """Sample (positive, negative) herb pairs per prescription and apply BPR.
+
+        Rows with no herbs cannot supply a positive and rows whose herbs cover
+        the whole vocabulary admit no negative; both are skipped instead of
+        crashing / looping forever.  Sampling is vectorized over the batch:
+        rejection is retried a bounded number of rounds and any still-colliding
+        draw falls back to exact sampling from the row's complement set.
+        """
         num_herbs = model.num_herbs
-        negative_samples = self.config.negative_samples
-        positive_ids: List[int] = []
-        negative_ids: List[int] = []
-        row_ids: List[int] = []
-        for row, herbs in enumerate(batch.herb_sets):
-            herb_set = set(herbs)
-            for _ in range(negative_samples):
-                positive = int(rng.choice(list(herbs)))
-                negative = int(rng.integers(0, num_herbs))
-                while negative in herb_set:
-                    negative = int(rng.integers(0, num_herbs))
-                positive_ids.append(positive)
-                negative_ids.append(negative)
-                row_ids.append(row)
+        samples = self.config.negative_samples
+        herb_arrays = [np.asarray(h, dtype=np.int64) for h in batch.herb_sets]
+        valid_rows = np.array(
+            [
+                row
+                for row, herbs in enumerate(herb_arrays)
+                if 0 < herbs.size and np.unique(herbs).size < num_herbs
+            ],
+            dtype=np.int64,
+        )
         scores = model(batch.symptom_sets)
+        if valid_rows.size == 0:
+            # No sampleable pair in the batch: a zero loss that still touches
+            # the graph so backward() has gradients (all zero) to propagate.
+            return (scores * 0.0).sum()
+
+        pools = [herb_arrays[row] for row in valid_rows]
+        lengths = np.array([pool.size for pool in pools], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths[:-1])])
+        flat_pool = np.concatenate(pools)
+        # Positives: one uniform draw per (row, sample) from the row's herbs.
+        draw = (rng.random((valid_rows.size, samples)) * lengths[:, None]).astype(np.int64)
+        positive_ids = flat_pool[(offsets[:, None] + draw)].ravel()
+
+        # Negatives: uniform over the vocabulary with bounded rejection.
+        member = np.zeros((valid_rows.size, num_herbs), dtype=bool)
+        member[np.repeat(np.arange(valid_rows.size), lengths), flat_pool] = True
+        negative_ids = rng.integers(0, num_herbs, size=(valid_rows.size, samples))
+        local_rows = np.arange(valid_rows.size)[:, None]
+        for _ in range(self.MAX_NEGATIVE_RESAMPLE_ROUNDS):
+            colliding = member[local_rows, negative_ids]
+            if not colliding.any():
+                break
+            redraw = rng.integers(0, num_herbs, size=int(colliding.sum()))
+            negative_ids[colliding] = redraw
+        colliding = member[local_rows, negative_ids]
+        if colliding.any():
+            for row, col in zip(*np.nonzero(colliding)):
+                complement = np.flatnonzero(~member[row])
+                negative_ids[row, col] = int(rng.choice(complement))
+        negative_ids = negative_ids.ravel()
+
+        row_ids = np.repeat(valid_rows, samples)
         flat = scores.reshape(-1)
-        positive_index = np.asarray(row_ids) * num_herbs + np.asarray(positive_ids)
-        negative_index = np.asarray(row_ids) * num_herbs + np.asarray(negative_ids)
-        positive_scores = flat.gather_rows(positive_index)
-        negative_scores = flat.gather_rows(negative_index)
+        positive_scores = flat.gather_rows(row_ids * num_herbs + positive_ids)
+        negative_scores = flat.gather_rows(row_ids * num_herbs + negative_ids)
         return bpr_loss(positive_scores, negative_scores)

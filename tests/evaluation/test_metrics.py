@@ -57,6 +57,21 @@ class TestPrecisionRecall:
         with pytest.raises(ValueError):
             precision_at_k(np.zeros((2, 3)), [(0,)], 1)
 
+    def test_precision_uses_effective_k_when_k_exceeds_items(self):
+        # 3 herbs, k=10: every herb is recommended, so a ranking that covers
+        # all the truth is perfect — dividing by the requested k=10 would
+        # wrongly report 3/10
+        scores = np.array([[0.9, 0.8, 0.7]])
+        truth = [(0, 1, 2)]
+        assert precision_at_k(scores, truth, 10) == pytest.approx(1.0)
+        assert recall_at_k(scores, truth, 10) == pytest.approx(1.0)
+
+    def test_precision_effective_k_partial_hits(self):
+        # 4 herbs, k=9 clamps to 4; two of the four recommended are relevant
+        scores = np.array([[0.9, 0.8, 0.7, 0.6]])
+        truth = [(0, 2)]
+        assert precision_at_k(scores, truth, 9) == pytest.approx(0.5)
+
 
 class TestNDCG:
     def test_perfect_is_one(self):
@@ -119,3 +134,66 @@ class TestEvaluateRanking:
         truth = [tuple(rng.choice(num_herbs, size=10, replace=False)) for _ in range(200)]
         p5 = precision_at_k(scores, truth, 5)
         assert abs(p5 - 10 / num_herbs) < 0.05
+
+
+class TestVectorizedAgainstReference:
+    """The NumPy-vectorized metrics must equal a straightforward Python loop."""
+
+    @staticmethod
+    def _reference_metrics(scores, truth_sets, k):
+        top = top_k_indices(scores, k)
+        k_eff = top.shape[1]
+        discounts = 1.0 / np.log2(np.arange(2, k_eff + 2))
+        precisions, recalls, ndcgs = [], [], []
+        for row, truth in enumerate(truth_sets):
+            truth_set = set(truth)
+            hits = np.array([1.0 if herb in truth_set else 0.0 for herb in top[row]])
+            precisions.append(hits.sum() / k_eff)
+            if not truth_set:
+                continue
+            recalls.append(hits.sum() / len(truth_set))
+            idcg = discounts[: min(len(truth_set), k_eff)].sum()
+            ndcgs.append((hits * discounts).sum() / idcg if idcg > 0 else 0.0)
+        return (
+            float(np.mean(precisions)),
+            float(np.mean(recalls)) if recalls else 0.0,
+            float(np.mean(ndcgs)) if ndcgs else 0.0,
+        )
+
+    @pytest.mark.parametrize("k", [1, 5, 10, 50])
+    def test_matches_reference_on_random_data(self, k):
+        rng = np.random.default_rng(17)
+        num_herbs = 40
+        scores = rng.normal(size=(60, num_herbs))
+        truth = [
+            tuple(rng.choice(num_herbs, size=int(rng.integers(0, 12)), replace=False))
+            for _ in range(60)
+        ]
+        ref_p, ref_r, ref_n = self._reference_metrics(scores, truth, k)
+        assert precision_at_k(scores, truth, k) == pytest.approx(ref_p)
+        assert recall_at_k(scores, truth, k) == pytest.approx(ref_r)
+        assert ndcg_at_k(scores, truth, k) == pytest.approx(ref_n)
+
+    def test_all_empty_truth_sets(self):
+        scores = np.random.default_rng(5).random((4, 6))
+        truth = [(), (), (), ()]
+        assert recall_at_k(scores, truth, 3) == 0.0
+        assert ndcg_at_k(scores, truth, 3) == 0.0
+        assert precision_at_k(scores, truth, 3) == 0.0
+
+    def test_out_of_range_truth_ids_rejected(self):
+        scores = np.zeros((1, 5))
+        with pytest.raises(ValueError, match="truth ids"):
+            recall_at_k(scores, [(7,)], 3)
+        with pytest.raises(ValueError, match="truth ids"):
+            precision_at_k(scores, [(-1,)], 3)
+
+    def test_evaluate_ranking_matches_individual_metrics(self):
+        rng = np.random.default_rng(23)
+        scores = rng.normal(size=(30, 25))
+        truth = [tuple(rng.choice(25, size=4, replace=False)) for _ in range(30)]
+        metrics = evaluate_ranking(scores, truth, ks=(3, 7))
+        for k in (3, 7):
+            assert metrics[f"p@{k}"] == pytest.approx(precision_at_k(scores, truth, k))
+            assert metrics[f"r@{k}"] == pytest.approx(recall_at_k(scores, truth, k))
+            assert metrics[f"ndcg@{k}"] == pytest.approx(ndcg_at_k(scores, truth, k))

@@ -1,0 +1,192 @@
+"""Tests for the cached-propagation inference engine and the encode cache.
+
+The regression this guards: the seed evaluator re-ran the full multi-graph
+propagation (``encode()``) for every 256-row chunk even with frozen
+parameters.  ``Evaluator.evaluate()`` must now trigger exactly one
+propagation, the cache must invalidate on any parameter mutation, and the
+cached scores must equal the uncached forward pass bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import Evaluator
+from repro.inference import InferenceEngine, Recommendation
+from repro.models import SMGCN, SMGCNConfig
+from repro.nn import Adam
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture()
+def model(tiny_split):
+    train, _ = tiny_split
+    config = SMGCNConfig(
+        embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+    )
+    return SMGCN.from_dataset(train, config)
+
+
+def _count_encodes(model):
+    """Patch ``model.encode`` to count calls; returns the counter dict."""
+    calls = {"n": 0}
+    original = model.encode
+
+    def counting_encode():
+        calls["n"] += 1
+        return original()
+
+    object.__setattr__(model, "encode", counting_encode)
+    return calls
+
+
+def _one_training_step(model, symptom_sets):
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    model.train()
+    optimizer.zero_grad()
+    loss = model(symptom_sets).sum()
+    loss.backward()
+    optimizer.step()
+    model.eval()
+
+
+class TestEncodeCache:
+    def test_evaluate_runs_encode_exactly_once(self, tiny_split, model):
+        _, test = tiny_split
+        calls = _count_encodes(model)
+        # small batches force many chunks; the propagation must not scale with them
+        evaluator = Evaluator(test, ks=(5,), batch_size=4)
+        evaluator.evaluate(model)
+        assert calls["n"] == 1
+        assert model.propagation_count == 1
+
+    def test_second_evaluate_reuses_cache(self, tiny_split, model):
+        _, test = tiny_split
+        calls = _count_encodes(model)
+        evaluator = Evaluator(test, ks=(5,), batch_size=8)
+        first = evaluator.evaluate(model)
+        second = evaluator.evaluate(model)
+        assert calls["n"] == 1
+        assert first.metrics == second.metrics
+
+    def test_optimizer_step_invalidates_cache(self, tiny_split, model):
+        train, test = tiny_split
+        evaluator = Evaluator(test, ks=(5,), batch_size=8)
+        before_scores = evaluator.score_matrix(model)
+        version_before = model.parameter_version()
+        assert model.propagation_count == 1
+
+        _one_training_step(model, train.symptom_sets()[:16])
+
+        assert model.parameter_version() != version_before
+        after_scores = evaluator.score_matrix(model)
+        assert model.propagation_count >= 2, "stale cache served after optimizer.step()"
+        assert not np.allclose(before_scores, after_scores)
+
+    def test_cached_scores_equal_uncached_forward(self, tiny_split, model):
+        _, test = tiny_split
+        symptom_sets = test.symptom_sets()
+        uncached = model.forward(symptom_sets).data
+        cached = InferenceEngine(model, batch_size=7).score_batch(symptom_sets)
+        np.testing.assert_allclose(cached, uncached, atol=1e-12)
+
+    def test_train_mode_invalidates(self, model):
+        model.cached_encode()
+        assert model._encode_cache is not None
+        model.train()
+        assert model._encode_cache is None
+
+    def test_load_state_dict_invalidates(self, tiny_split, model):
+        _, test = tiny_split
+        sets = test.symptom_sets()[:8]
+        state = {name: value.copy() for name, value in model.state_dict().items()}
+        baseline = model.score_sets(sets)
+        # perturb every parameter, rescore, then restore the snapshot
+        for param in model.parameters():
+            param.data = param.data + 0.05
+            param.bump_version()
+        perturbed = model.score_sets(sets)
+        assert not np.allclose(baseline, perturbed)
+        model.load_state_dict(state)
+        restored = model.score_sets(sets)
+        np.testing.assert_allclose(restored, baseline, atol=1e-12)
+
+    def test_invalidate_cache_forces_repropagation(self, model):
+        model.cached_encode()
+        count = model.propagation_count
+        model.cached_encode()
+        assert model.propagation_count == count
+        model.invalidate_cache()
+        model.cached_encode()
+        assert model.propagation_count == count + 1
+
+
+class TestInferenceEngine:
+    def test_requires_graph_model(self):
+        with pytest.raises(TypeError):
+            InferenceEngine(object())
+
+    def test_batch_size_validation(self, model):
+        with pytest.raises(ValueError):
+            InferenceEngine(model, batch_size=0)
+
+    def test_empty_request(self, model):
+        scores = InferenceEngine(model).score_batch([])
+        assert scores.shape == (0, model.num_herbs)
+        assert InferenceEngine(model).recommend_batch([], k=3) == []
+
+    def test_chunking_is_invisible(self, tiny_split, model):
+        _, test = tiny_split
+        sets = test.symptom_sets()
+        small = InferenceEngine(model, batch_size=3).score_batch(sets)
+        large = InferenceEngine(model, batch_size=1024).score_batch(sets)
+        np.testing.assert_allclose(small, large, atol=1e-12)
+
+    def test_recommend_batch_sorted_topk(self, model):
+        engine = InferenceEngine(model)
+        recs = engine.recommend_batch([(0, 1), (2,)], k=5)
+        assert len(recs) == 2
+        scores = engine.score_batch([(0, 1), (2,)])
+        for row, rec in enumerate(recs):
+            assert isinstance(rec, Recommendation)
+            assert len(rec) == 5
+            assert list(rec.scores) == sorted(rec.scores, reverse=True)
+            expected_best = int(np.argmax(scores[row]))
+            assert rec.herb_ids[0] == expected_best
+            assert rec.scores[0] == pytest.approx(scores[row].max())
+            assert len(set(rec.herb_ids)) == len(rec.herb_ids)
+
+    def test_recommend_single_matches_batch(self, model):
+        engine = InferenceEngine(model)
+        single = engine.recommend((1, 4), k=3)
+        batch = engine.recommend_batch([(1, 4)], k=3)[0]
+        assert single.herb_ids == batch.herb_ids
+
+    def test_k_clamped_to_vocab(self, model):
+        rec = InferenceEngine(model).recommend((0,), k=10_000)
+        assert len(rec) == model.num_herbs
+
+    def test_invalid_k(self, model):
+        with pytest.raises(ValueError):
+            InferenceEngine(model).recommend((0,), k=0)
+
+    def test_warm_up_propagates_once(self, model):
+        engine = InferenceEngine(model).warm_up()
+        assert model.propagation_count == 1
+        engine.score_batch([(0,)])
+        assert model.propagation_count == 1
+
+    def test_refresh_forces_repropagation(self, model):
+        engine = InferenceEngine(model).warm_up()
+        engine.refresh()
+        assert model.propagation_count == 2
+
+    def test_engine_matches_training_loop_scores(self, tiny_split, model):
+        """End to end: train briefly, then cached serving == direct forward."""
+        train, test = tiny_split
+        Trainer(TrainerConfig(epochs=2, batch_size=64, learning_rate=1e-3, seed=0)).fit(
+            model, train
+        )
+        sets = test.symptom_sets()
+        direct = model.forward(sets).data
+        served = InferenceEngine(model, batch_size=16).score_batch(sets)
+        np.testing.assert_allclose(served, direct, atol=1e-12)

@@ -1,0 +1,91 @@
+"""Tests for the CSR pooling builder and the sparse ``scatter_mean``.
+
+The seed's dense ``pool[i, indices] = 1/len`` assignment silently dropped
+duplicate ids inside a set, so ``[2, 2]`` pooled to ``0.5 * row2`` instead of
+``row2``.  The sparse rewrite must compute the exact multiset mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, build_pooling_matrix, scatter_mean
+
+
+class TestBuildPoolingMatrix:
+    def test_mean_weights(self):
+        pool = build_pooling_matrix([(0, 2)], num_columns=4).toarray()
+        np.testing.assert_allclose(pool, [[0.5, 0.0, 0.5, 0.0]])
+
+    def test_duplicates_accumulate(self):
+        pool = build_pooling_matrix([(1, 1, 3)], num_columns=4).toarray()
+        np.testing.assert_allclose(pool, [[0.0, 2.0 / 3.0, 0.0, 1.0 / 3.0]])
+
+    def test_sum_mode(self):
+        pool = build_pooling_matrix([(0, 0, 1)], num_columns=3, normalize="sum").toarray()
+        np.testing.assert_allclose(pool, [[2.0, 1.0, 0.0]])
+
+    def test_empty_set_gives_zero_row(self):
+        pool = build_pooling_matrix([(), (1,)], num_columns=3).toarray()
+        np.testing.assert_allclose(pool, [[0.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+
+    def test_no_sets(self):
+        pool = build_pooling_matrix([], num_columns=3)
+        assert pool.shape == (0, 3)
+
+    def test_all_empty_sets(self):
+        pool = build_pooling_matrix([(), ()], num_columns=3).toarray()
+        np.testing.assert_allclose(pool, np.zeros((2, 3)))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            build_pooling_matrix([(3,)], num_columns=3)
+        with pytest.raises(IndexError):
+            build_pooling_matrix([(-1,)], num_columns=3)
+
+    def test_invalid_normalize_rejected(self):
+        with pytest.raises(ValueError):
+            build_pooling_matrix([(0,)], num_columns=2, normalize="max")
+        with pytest.raises(ValueError):
+            build_pooling_matrix([(0,)], num_columns=0)
+
+
+class TestScatterMean:
+    def test_duplicate_ids_exact_mean(self):
+        table = Tensor(np.arange(12, dtype=np.float64).reshape(4, 3))
+        pooled = scatter_mean(table, [(2, 2)]).data
+        # the multiset mean of {row2, row2} is row2 itself — the seed's dense
+        # pooling matrix returned 0.5 * row2 here
+        np.testing.assert_allclose(pooled, table.data[2][None, :])
+
+    def test_mixed_duplicates(self):
+        table = Tensor(np.array([[1.0, 10.0], [2.0, 20.0], [4.0, 40.0]]))
+        pooled = scatter_mean(table, [(0, 0, 1)]).data
+        np.testing.assert_allclose(pooled, [[4.0 / 3.0, 40.0 / 3.0]])
+
+    def test_matches_numpy_mean_without_duplicates(self):
+        rng = np.random.default_rng(3)
+        table = Tensor(rng.normal(size=(20, 5)))
+        sets = [tuple(rng.choice(20, size=size, replace=False)) for size in (1, 3, 7)]
+        pooled = scatter_mean(table, sets).data
+        expected = np.stack([table.data[list(s)].mean(axis=0) for s in sets])
+        np.testing.assert_allclose(pooled, expected)
+
+    def test_matches_numpy_mean_with_duplicates(self):
+        rng = np.random.default_rng(4)
+        table = Tensor(rng.normal(size=(10, 4)))
+        sets = [tuple(rng.integers(0, 10, size=size)) for size in (2, 5, 9)]
+        pooled = scatter_mean(table, sets).data
+        expected = np.stack([table.data[list(s)].mean(axis=0) for s in sets])
+        np.testing.assert_allclose(pooled, expected)
+
+    def test_empty_set_pools_to_zero(self):
+        table = Tensor(np.ones((3, 2)))
+        pooled = scatter_mean(table, [(), (0,)]).data
+        np.testing.assert_allclose(pooled, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_gradient_flows_through_sparse_pooling(self):
+        table = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]), requires_grad=True)
+        pooled = scatter_mean(table, [(0, 0, 2)])
+        pooled.sum().backward()
+        # d(sum)/d(row) is the total pooling weight that row received
+        np.testing.assert_allclose(table.grad, [[2.0 / 3.0] * 2, [0.0] * 2, [1.0 / 3.0] * 2])

@@ -44,3 +44,87 @@ class TestCommands:
     def test_run_training_experiment_smoke(self, capsys):
         assert main(["run", "fig10", "--scale", "smoke"]) == 0
         assert "case study" in capsys.readouterr().out
+
+
+class TestParseSymptoms:
+    @pytest.fixture()
+    def vocab(self):
+        from repro.cli import _parse_symptoms  # noqa: F401 - import check
+        from repro.experiments.datasets import experiment_split
+
+        train, _ = experiment_split("smoke")
+        return train.symptom_vocab
+
+    def test_integer_ids(self, vocab):
+        from repro.cli import _parse_symptoms
+
+        assert _parse_symptoms("0 3 7", vocab) == [0, 3, 7]
+
+    def test_tokens(self, vocab):
+        from repro.cli import _parse_symptoms
+
+        tokens = [vocab.token_of(2), vocab.token_of(5)]
+        assert _parse_symptoms(" ".join(tokens), vocab) == [2, 5]
+
+    def test_mixed_tokens_and_ids(self, vocab):
+        from repro.cli import _parse_symptoms
+
+        assert _parse_symptoms(f"{vocab.token_of(4)} 1", vocab) == [4, 1]
+
+    def test_unknown_token_rejected(self, vocab):
+        from repro.cli import _parse_symptoms
+
+        with pytest.raises(ValueError, match="unknown symptom token"):
+            _parse_symptoms("definitely_not_a_symptom", vocab)
+
+    def test_out_of_range_id_rejected(self, vocab):
+        from repro.cli import _parse_symptoms
+
+        with pytest.raises(ValueError, match="out of range"):
+            _parse_symptoms("99999", vocab)
+        with pytest.raises(ValueError, match="out of range"):
+            _parse_symptoms("-1", vocab)
+
+    def test_empty_rejected(self, vocab):
+        from repro.cli import _parse_symptoms
+
+        with pytest.raises(ValueError, match="no symptoms"):
+            _parse_symptoms("   ", vocab)
+
+
+class TestPredictServe:
+    def test_predict_requires_symptoms(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict"])
+
+    def test_predict_smoke(self, capsys):
+        code = main(
+            ["predict", "--scale", "smoke", "--symptoms", "0 3", "--k", "2", "--epochs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "symptoms: symptom_000 symptom_003" in out
+        assert out.count("score=") == 2
+
+    def test_predict_bad_symptom_exits_before_training(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "no_such_token"])
+        assert code == 2
+        assert "unknown symptom token" in capsys.readouterr().err
+
+    def test_predict_invalid_k(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0", "--k", "0"])
+        assert code == 2
+        assert "--k must be a positive integer" in capsys.readouterr().err
+
+    def test_serve_round_trip(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 3\nbad_token\n5\n\n"))
+        code = main(["serve", "--scale", "smoke", "--k", "3", "--epochs", "1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        herb_lines = [line for line in captured.out.splitlines() if line.startswith("herb_")]
+        assert len(herb_lines) == 2  # the bad line is skipped, the blank line quits
+        assert all(len(line.split()) == 3 for line in herb_lines)
+        assert "ready:" in captured.err
+        assert "unknown symptom token" in captured.err
