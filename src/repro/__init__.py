@@ -15,8 +15,23 @@ Sub-packages
     Training loop, metrics (precision/recall/NDCG@K) and case-study tooling.
 ``repro.experiments``
     One runner per table/figure in the paper's evaluation section.
+``repro.io``
+    Single-file model checkpoints (train once, serve forever from disk).
+``repro.api``
+    The :class:`~repro.api.Pipeline` facade: fit / evaluate / recommend /
+    save / load in a few lines.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "Pipeline"]
+
+
+def __getattr__(name):
+    # Lazy so that ``import repro`` stays light; the facade pulls in the full
+    # model / experiment stack.
+    if name == "Pipeline":
+        from .api import Pipeline
+
+        return Pipeline
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

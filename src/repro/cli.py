@@ -3,19 +3,24 @@
 Examples::
 
     python -m repro list
+    python -m repro models
     python -m repro run table4 --scale smoke
-    python -m repro run fig7 --scale default --output fig7.txt
     python -m repro all --scale smoke
-    python -m repro predict --scale smoke --symptoms "symptom_003 symptom_014" --k 5
-    echo "symptom_003 symptom_014" | python -m repro serve --scale smoke
+    python -m repro train --model SMGCN --scale smoke --checkpoint smgcn.npz
+    python -m repro predict --checkpoint smgcn.npz --symptoms "symptom_003 symptom_014" --k 5
+    echo "symptom_003 symptom_014" | python -m repro serve --checkpoint smgcn.npz
 
-``list`` prints the registered experiments, ``run`` executes one experiment and
-prints (or writes) its table/series, and ``all`` runs the full suite.
+``list`` prints the registered experiments, ``models`` the model registry,
+``run`` executes one experiment and prints (or writes) its table/series, and
+``all`` runs the full suite.
 
-``predict`` trains a model on the chosen scale's corpus and prints the top-k
-herbs for one symptom set; ``serve`` keeps the trained model resident and
-answers one symptom set per stdin line from the cached graph propagation, so
-every request after the first costs only a sparse pooling matmul.
+``train`` fits one registered model and writes a single-file checkpoint
+bundle.  ``predict`` and ``serve`` answer top-k herb queries; given
+``--checkpoint`` they load the trained weights from disk in milliseconds
+instead of retraining, otherwise they train first on the chosen scale.
+``serve`` keeps the model resident and answers one symptom set per stdin line
+from the cached graph propagation, so every request after the first costs
+only a sparse pooling matmul.
 """
 
 from __future__ import annotations
@@ -24,11 +29,14 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .experiments import EXPERIMENTS, run_experiment
+from .io.checkpoint import CheckpointError
 
 __all__ = ["build_parser", "main"]
+
+_SCALES = ("smoke", "default")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,17 +48,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the registered experiments")
 
+    models_parser = subparsers.add_parser("models", help="list the model registry")
+    models_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=_SCALES,
+        help="scale used to count parameters (default: default)",
+    )
+
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
-    run_parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
+    run_parser.add_argument("--scale", default="smoke", choices=_SCALES)
     run_parser.add_argument("--output", default=None, help="write the report to this file")
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
-    all_parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
+    all_parser.add_argument("--scale", default="smoke", choices=_SCALES)
     all_parser.add_argument("--output", default=None, help="write the combined report to this file")
 
+    train_parser = subparsers.add_parser(
+        "train", help="train one registered model and save a checkpoint"
+    )
+    train_parser.add_argument("--model", default="SMGCN", help="registered model name")
+    train_parser.add_argument("--scale", default="smoke", choices=_SCALES)
+    train_parser.add_argument(
+        "--checkpoint", required=True, help="write the trained model to this .npz bundle"
+    )
+    train_parser.add_argument(
+        "--epochs", type=int, default=None, help="override the profile's training epochs"
+    )
+    train_parser.add_argument("--seed", type=int, default=0, help="model initialisation seed")
+    train_parser.add_argument(
+        "--paper-params",
+        action="store_true",
+        help="use the paper's Table III lr/lambda for this model instead of the profile's",
+    )
+    train_parser.add_argument(
+        "--evaluate", action="store_true", help="print test-split metrics after training"
+    )
+
     predict_parser = subparsers.add_parser(
-        "predict", help="train a model and print top-k herbs for one symptom set"
+        "predict", help="print top-k herbs for one symptom set"
     )
     _add_serving_arguments(predict_parser)
     predict_parser.add_argument(
@@ -67,12 +104,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", default="smoke", choices=("smoke", "default"))
-    parser.add_argument("--model", default="SMGCN", help="neural model name (default: SMGCN)")
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=_SCALES,
+        help="corpus scale (default: the checkpoint's scale, or smoke)",
+    )
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="registered model name (default: SMGCN; with --checkpoint it must "
+        "match the checkpointed model)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="load trained weights from this bundle instead of retraining",
+    )
     parser.add_argument("--k", type=int, default=10, help="number of herbs to recommend")
     parser.add_argument(
         "--epochs", type=int, default=None, help="override the profile's training epochs"
     )
+    parser.add_argument("--seed", type=int, default=None, help="model initialisation seed")
 
 
 def _render(result) -> str:
@@ -87,43 +140,32 @@ def _emit(text: str, output: Optional[str]) -> None:
         print(f"wrote {output}")
 
 
-def _parse_symptoms(raw: str, vocab) -> List[int]:
+def _parse_symptoms(raw: str, vocab):
     """Map whitespace-separated tokens (or integer ids) to symptom ids."""
-    tokens = raw.split()
-    if not tokens:
-        raise ValueError("no symptoms given")
-    ids: List[int] = []
-    for token in tokens:
-        if token.lstrip("-").isdigit():
-            symptom_id = int(token)
-            if not 0 <= symptom_id < len(vocab):
-                raise ValueError(f"symptom id {symptom_id} out of range [0, {len(vocab)})")
-            ids.append(symptom_id)
-        elif token in vocab:
-            ids.append(vocab.id_of(token))
-        else:
-            raise ValueError(f"unknown symptom token {token!r}")
-    return ids
+    from .api import parse_symptom_tokens
+
+    return parse_symptom_tokens(raw, vocab)
 
 
-def _load_vocabs(scale: str):
-    """The ``(symptom, herb)`` vocabularies for a scale — cheap (lru-cached split)."""
-    from .experiments.datasets import experiment_split
-
-    train, _ = experiment_split(scale)
-    return train.symptom_vocab, train.herb_vocab
-
-
-def _build_engine(args):
-    """Train the requested model and wrap it in a warmed-up inference engine."""
+def _trainer_config(scale: str, epochs: Optional[int]):
+    if epochs is None:
+        return None
     from .experiments.datasets import get_profile
-    from .experiments.runners import build_inference_engine
 
-    profile = get_profile(args.scale)
-    trainer_config = None
-    if args.epochs is not None:
-        trainer_config = profile.trainer_config(epochs=args.epochs)
-    return build_inference_engine(args.model, scale=args.scale, trainer_config=trainer_config)
+    return get_profile(scale).trainer_config(epochs=epochs)
+
+
+def _build_pipeline(args):
+    """Train a fresh pipeline for predict/serve invocations without --checkpoint."""
+    from .api import Pipeline
+
+    scale = args.scale or "smoke"
+    return Pipeline(
+        args.model or "SMGCN",
+        scale=scale,
+        seed=args.seed if args.seed is not None else 0,
+        trainer_config=_trainer_config(scale, args.epochs),
+    ).fit()
 
 
 def _format_recommendation(recommendation, herb_vocab) -> str:
@@ -142,32 +184,162 @@ def _check_k(args) -> Optional[int]:
     return None
 
 
+def _run_models(args) -> int:
+    from .experiments.datasets import experiment_split, get_profile
+    from .models import MODEL_REGISTRY
+    from .nn import Module
+
+    profile = get_profile(args.scale)
+    train, _ = experiment_split(args.scale)
+    print(f"{'name':<18} {'config':<16} {'params':>10}  description")
+    for entry in MODEL_REGISTRY.entries():
+        model = entry.build(train, entry.default_config(profile))
+        params = f"{model.num_parameters():,}" if isinstance(model, Module) else "n/a"
+        print(f"{entry.name:<18} {entry.config_class.__name__:<16} {params:>10}  {entry.description}")
+    return 0
+
+
+def _run_train(args) -> int:
+    from .api import Pipeline
+    from .training import paper_trainer_config
+
+    if args.epochs is not None and args.epochs < 0:
+        print("error: --epochs must be non-negative", file=sys.stderr)
+        return 2
+    # fail fast on an unwritable target before paying for training
+    target = Path(args.checkpoint)
+    try:
+        if target.parent and not target.parent.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+        existed = target.exists()
+        with open(target, "ab"):
+            pass
+        if not existed:
+            target.unlink()
+    except OSError as error:
+        print(f"error: cannot write checkpoint {args.checkpoint}: {error}", file=sys.stderr)
+        return 2
+    trainer_config = None
+    if args.paper_params:
+        from .experiments.datasets import get_profile
+
+        # paper lr/lambda, but keep the scale's epochs / batch schedule
+        profile_config = get_profile(args.scale).trainer_config()
+        overrides = {
+            "epochs": profile_config.epochs if args.epochs is None else args.epochs,
+            "batch_size": profile_config.batch_size,
+        }
+        try:
+            trainer_config = paper_trainer_config(args.model, **overrides)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        trainer_config = _trainer_config(args.scale, args.epochs)
+    try:
+        pipeline = Pipeline(
+            args.model, scale=args.scale, seed=args.seed, trainer_config=trainer_config
+        )
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    try:
+        pipeline.fit()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    try:
+        path = pipeline.save(args.checkpoint)
+    except (OSError, CheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if pipeline.history is not None:
+        print(
+            f"trained {args.model} ({args.scale}) for {pipeline.history.num_epochs} epochs "
+            f"in {elapsed:.1f}s (final loss {pipeline.history.final_loss:.4f})"
+        )
+    else:
+        print(f"fitted {args.model} ({args.scale}) in {elapsed:.1f}s")
+    print(f"wrote {path}")
+    if args.evaluate:
+        result = pipeline.evaluate()
+        metrics = ", ".join(f"{key}={value:.4f}" for key, value in result.metrics.items())
+        print(metrics)
+    return 0
+
+
 def _run_predict(args) -> int:
     error = _check_k(args)
     if error is not None:
         return error
-    # validate the symptom set before paying for training
-    symptom_vocab, herb_vocab = _load_vocabs(args.scale)
     try:
-        symptom_ids = _parse_symptoms(args.symptoms, symptom_vocab)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
+        pipeline = _load_or_none(args)
+        # validate the symptom set before paying for training
+        symptom_ids = _parse_symptoms(args.symptoms, _serving_vocab(args, pipeline))
+        if pipeline is None:
+            pipeline = _build_pipeline(args)
+        recommendation = pipeline.recommend(symptom_ids, k=args.k)
+    except (ValueError, KeyError, OSError, CheckpointError) as err:
+        print(f"error: {err}", file=sys.stderr)
         return 2
-    engine = _build_engine(args)
-    recommendation = engine.recommend(symptom_ids, k=args.k)
-    print(f"symptoms: {' '.join(symptom_vocab.decode(symptom_ids))}")
-    print(_format_recommendation(recommendation, herb_vocab))
+    print(f"symptoms: {' '.join(pipeline.symptom_vocab.decode(symptom_ids))}")
+    print(_format_recommendation(recommendation, pipeline.herb_vocab))
     return 0
+
+
+def _load_or_none(args):
+    """Load the checkpoint pipeline eagerly so its scale drives vocab parsing.
+
+    Training-only flags are refused rather than silently ignored: the
+    checkpoint fixes the model, seed and epochs, so a conflicting request
+    would otherwise serve something different from what the user asked for.
+    """
+    if not args.checkpoint:
+        return None
+    if args.epochs is not None or args.seed is not None:
+        raise ValueError("--epochs/--seed only apply when training; drop them with --checkpoint")
+    from .api import Pipeline
+
+    pipeline = Pipeline.load(args.checkpoint, scale=args.scale)
+    if args.model is not None and args.model != pipeline.model_name:
+        raise ValueError(
+            f"checkpoint {args.checkpoint} holds {pipeline.model_name!r}, not {args.model!r}"
+        )
+    return pipeline
+
+
+def _serving_vocab(args, pipeline):
+    if pipeline is not None:
+        return pipeline.symptom_vocab
+    from .experiments.datasets import experiment_split
+
+    train, _ = experiment_split(args.scale or "smoke")
+    return train.symptom_vocab
 
 
 def _run_serve(args) -> int:
     error = _check_k(args)
     if error is not None:
         return error
-    symptom_vocab, herb_vocab = _load_vocabs(args.scale)
-    engine = _build_engine(args)
+    try:
+        pipeline = _load_or_none(args)
+        if pipeline is None:
+            pipeline = _build_pipeline(args)
+    except (ValueError, KeyError, OSError, CheckpointError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    from .models.base import GraphHerbRecommender
+
+    if isinstance(pipeline.model, GraphHerbRecommender):
+        pipeline.engine  # warm the propagation before taking traffic
+    symptom_vocab = pipeline.symptom_vocab
+    herb_vocab = pipeline.herb_vocab
+    source = args.checkpoint if args.checkpoint else "trained in-process"
     print(
-        f"ready: {args.model} ({args.scale}); one symptom set per line, blank line or EOF quits",
+        f"ready: {pipeline.model_name} ({pipeline.scale}, {source}); "
+        "one symptom set per line, blank line or EOF quits",
         file=sys.stderr,
     )
     for raw_line in sys.stdin:
@@ -176,10 +348,10 @@ def _run_serve(args) -> int:
             break
         try:
             symptom_ids = _parse_symptoms(line, symptom_vocab)
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
             continue
-        recommendation = engine.recommend(symptom_ids, k=args.k)
+        recommendation = pipeline.recommend(symptom_ids, k=args.k)
         tokens = " ".join(herb_vocab.token_of(h) for h in recommendation.herb_ids)
         print(tokens, flush=True)
     return 0
@@ -191,6 +363,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for experiment_id, spec in EXPERIMENTS.items():
             print(f"{experiment_id:<8} {spec.title} [{spec.paper_section}] — {spec.expected_shape}")
         return 0
+    if args.command == "models":
+        return _run_models(args)
     if args.command == "run":
         result = run_experiment(args.experiment, scale=args.scale)
         _emit(_render(result), args.output)
@@ -205,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sections.append(f"[{experiment_id}] {spec.title}\n{_render(result)}")
         _emit("\n\n".join(sections), args.output)
         return 0
+    if args.command == "train":
+        return _run_train(args)
     if args.command == "predict":
         return _run_predict(args)
     if args.command == "serve":

@@ -20,10 +20,13 @@ from .reporting import Series, Table
 from .runners import (
     ALL_MODEL_NAMES,
     NEURAL_MODEL_NAMES,
+    SUBMODEL_NAMES,
     build_neural_model,
+    build_registered_model,
     train_and_evaluate,
     train_hc_kgetm,
     train_neural_model,
+    train_registered_model,
 )
 
 __all__ = [
@@ -41,8 +44,11 @@ __all__ = [
     "run_experiment",
     "ALL_MODEL_NAMES",
     "NEURAL_MODEL_NAMES",
+    "SUBMODEL_NAMES",
     "build_neural_model",
+    "build_registered_model",
     "train_neural_model",
+    "train_registered_model",
     "train_hc_kgetm",
     "train_and_evaluate",
 ]

@@ -1,0 +1,21 @@
+"""Persistence layer: model checkpoints (train once, serve forever from disk)."""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointHeader,
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+    vocab_fingerprint,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointHeader",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "vocab_fingerprint",
+]

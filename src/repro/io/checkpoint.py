@@ -1,0 +1,256 @@
+"""Single-file model checkpoints: one ``.npz`` bundle with a JSON header.
+
+A checkpoint persists everything needed to rebuild a trained recommender
+without retraining:
+
+* the model's ``state_dict`` arrays (one npz member per parameter, under the
+  ``state/`` prefix);
+* a JSON header (npz member ``__checkpoint_header__``) carrying the registered
+  model name, the serialized config (``SerializableConfig.to_dict``), the
+  dataset scale it was trained on, the vocabulary sizes and SHA-256
+  fingerprints of the symptom/herb vocabularies.
+
+Loading resolves the model name through :data:`repro.models.MODEL_REGISTRY`,
+rebuilds the architecture from ``(dataset, config)`` via the registered
+builder and restores the learned state — refusing to load when the target
+dataset's vocabularies (or any array shape) do not match what the checkpoint
+was trained against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..data.prescriptions import PrescriptionDataset
+from ..models.registry import MODEL_REGISTRY, ModelEntry
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointHeader",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "vocab_fingerprint",
+]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_HEADER_KEY = "__checkpoint_header__"
+_STATE_PREFIX = "state/"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint cannot be written or (safely) loaded."""
+
+
+def vocab_fingerprint(vocab) -> str:
+    """SHA-256 fingerprint of a vocabulary's tokens in id order."""
+    digest = hashlib.sha256()
+    digest.update(str(len(vocab)).encode("utf-8"))
+    for token in vocab:
+        digest.update(b"\x00")
+        digest.update(token.encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckpointHeader:
+    """The JSON metadata stored alongside the state arrays."""
+
+    format_version: int
+    model_name: str
+    model_class: str
+    config: Dict[str, Any]
+    scale: Optional[str]
+    num_symptoms: int
+    num_herbs: int
+    symptom_vocab_fingerprint: str
+    herb_vocab_fingerprint: str
+    state_keys: Tuple[str, ...]
+
+    def to_json(self) -> str:
+        payload = {
+            "format_version": self.format_version,
+            "model_name": self.model_name,
+            "model_class": self.model_class,
+            "config": self.config,
+            "scale": self.scale,
+            "num_symptoms": self.num_symptoms,
+            "num_herbs": self.num_herbs,
+            "symptom_vocab_fingerprint": self.symptom_vocab_fingerprint,
+            "herb_vocab_fingerprint": self.herb_vocab_fingerprint,
+            "state_keys": list(self.state_keys),
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointHeader":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(f"corrupt checkpoint header: {error}") from error
+        try:
+            return cls(
+                format_version=int(payload["format_version"]),
+                model_name=str(payload["model_name"]),
+                model_class=str(payload["model_class"]),
+                config=dict(payload["config"]),
+                scale=payload.get("scale"),
+                num_symptoms=int(payload["num_symptoms"]),
+                num_herbs=int(payload["num_herbs"]),
+                symptom_vocab_fingerprint=str(payload["symptom_vocab_fingerprint"]),
+                herb_vocab_fingerprint=str(payload["herb_vocab_fingerprint"]),
+                state_keys=tuple(payload["state_keys"]),
+            )
+        except KeyError as error:
+            raise CheckpointError(f"checkpoint header misses field {error}") from error
+
+
+def _resolve_entry(model, name: Optional[str]) -> ModelEntry:
+    if name is not None:
+        entry = MODEL_REGISTRY.get(name)
+        if type(model) is not entry.model_class:
+            raise CheckpointError(
+                f"model {name!r} is registered for {entry.model_class.__name__}, "
+                f"got a {type(model).__name__}"
+            )
+        return entry
+    try:
+        return MODEL_REGISTRY.entry_for_model(model)
+    except KeyError as error:
+        raise CheckpointError(str(error)) from error
+
+
+def save_checkpoint(
+    model,
+    path: Union[str, Path],
+    dataset: PrescriptionDataset,
+    *,
+    name: Optional[str] = None,
+    scale: Optional[str] = None,
+) -> Path:
+    """Write ``model`` to ``path`` as a single ``.npz`` bundle.
+
+    ``dataset`` must be the training split the model was built on — its
+    vocabularies are fingerprinted into the header so a later load can refuse
+    a mismatched corpus.  ``name`` defaults to the registry entry of the
+    model's class; pass it explicitly for ablation variants.  ``scale``
+    (e.g. ``"smoke"``) lets loaders rebuild the right dataset without being
+    told.
+    """
+    entry = _resolve_entry(model, name)
+    if model.num_herbs != dataset.num_herbs or model.num_symptoms != dataset.num_symptoms:
+        raise CheckpointError(
+            "dataset vocabulary sizes do not match the model: dataset has "
+            f"{dataset.num_symptoms} symptoms / {dataset.num_herbs} herbs, model has "
+            f"{model.num_symptoms} / {model.num_herbs}"
+        )
+    config = getattr(model, "config", None)
+    if config is None or not hasattr(config, "to_dict"):
+        raise CheckpointError(
+            f"{type(model).__name__} has no serialisable config; cannot checkpoint"
+        )
+    state = model.state_dict()
+    header = CheckpointHeader(
+        format_version=CHECKPOINT_FORMAT_VERSION,
+        model_name=entry.name if name is None else name,
+        model_class=type(model).__name__,
+        config=config.to_dict(),
+        scale=scale,
+        num_symptoms=dataset.num_symptoms,
+        num_herbs=dataset.num_herbs,
+        symptom_vocab_fingerprint=vocab_fingerprint(dataset.symptom_vocab),
+        herb_vocab_fingerprint=vocab_fingerprint(dataset.herb_vocab),
+        state_keys=tuple(sorted(state)),
+    )
+    arrays = {_STATE_PREFIX + key: np.asarray(value) for key, value in state.items()}
+    arrays[_HEADER_KEY] = np.array(header.to_json())
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return path
+
+
+def _parse_header(data) -> CheckpointHeader:
+    if _HEADER_KEY not in data:
+        raise CheckpointError("not a repro checkpoint (missing header)")
+    header = CheckpointHeader.from_json(str(data[_HEADER_KEY][()]))
+    if header.format_version > CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format v{header.format_version} is newer than the supported "
+            f"v{CHECKPOINT_FORMAT_VERSION}"
+        )
+    return header
+
+
+def read_checkpoint_header(path: Union[str, Path]) -> CheckpointHeader:
+    """Read only the JSON header of a checkpoint (cheap — no state arrays)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return _parse_header(data)
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    dataset: Optional[PrescriptionDataset] = None,
+    *,
+    resolve_dataset=None,
+) -> Tuple[Any, CheckpointHeader]:
+    """Rebuild the checkpointed model against ``dataset`` and restore its state.
+
+    Instead of a ready dataset, callers may pass ``resolve_dataset``, a
+    callable mapping the parsed :class:`CheckpointHeader` to the dataset —
+    this lets the header's recorded scale pick the corpus without opening and
+    parsing the bundle twice.
+
+    Raises :class:`CheckpointError` when the dataset's vocabularies do not
+    fingerprint-match the ones the checkpoint was trained on, or when any
+    state array fails the model's shape checks.
+    """
+    if (dataset is None) == (resolve_dataset is None):
+        raise ValueError("pass exactly one of dataset or resolve_dataset")
+    with np.load(Path(path), allow_pickle=False) as data:
+        header = _parse_header(data)
+        if header.model_name not in MODEL_REGISTRY:
+            raise CheckpointError(
+                f"checkpoint was written by unregistered model {header.model_name!r}"
+            )
+        if dataset is None:
+            dataset = resolve_dataset(header)
+        if (dataset.num_symptoms, dataset.num_herbs) != (header.num_symptoms, header.num_herbs):
+            raise CheckpointError(
+                f"vocabulary size mismatch: checkpoint has "
+                f"{header.num_symptoms} symptoms / {header.num_herbs} herbs, dataset has "
+                f"{dataset.num_symptoms} / {dataset.num_herbs}"
+            )
+        if vocab_fingerprint(dataset.symptom_vocab) != header.symptom_vocab_fingerprint:
+            raise CheckpointError(
+                "symptom vocabulary fingerprint mismatch: refusing to load the "
+                "checkpoint against a different corpus"
+            )
+        if vocab_fingerprint(dataset.herb_vocab) != header.herb_vocab_fingerprint:
+            raise CheckpointError(
+                "herb vocabulary fingerprint mismatch: refusing to load the "
+                "checkpoint against a different corpus"
+            )
+        entry = MODEL_REGISTRY.get(header.model_name)
+        config = entry.config_class.from_dict(header.config)
+        model = entry.build(dataset, config)
+        state = {
+            key[len(_STATE_PREFIX) :]: data[key]
+            for key in data.files
+            if key.startswith(_STATE_PREFIX)
+        }
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise CheckpointError(f"checkpoint state does not fit the rebuilt model: {error}") from error
+    return model, header

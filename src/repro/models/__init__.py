@@ -1,8 +1,23 @@
 """Herb-recommendation models: SMGCN (the paper's contribution), its ablation
-sub-models, and every baseline from the evaluation section."""
+sub-models, and every baseline from the evaluation section.
+
+Importing this package populates :data:`MODEL_REGISTRY`: every model module
+self-registers its class, config dataclass and builder via
+:func:`register_model`, so entry points resolve the zoo by name instead of
+hard-coding it.
+"""
 
 from .base import GraphHerbRecommender, HerbRecommender
 from .components import BiparGCN, SyndromeInduction, SynergyGraphEncoder
+from .registry import (
+    MODEL_REGISTRY,
+    ModelEntry,
+    ModelRegistry,
+    SerializableConfig,
+    get_model,
+    register_entry,
+    register_model,
+)
 from .gcmc import GCMC, GCMCConfig
 from .hc_kgetm import HCKGETM, HCKGETMConfig
 from .hetegcn import HeteGCN, HeteGCNConfig
@@ -15,6 +30,13 @@ from .transe import TransE, TransEConfig
 __all__ = [
     "HerbRecommender",
     "GraphHerbRecommender",
+    "MODEL_REGISTRY",
+    "ModelRegistry",
+    "ModelEntry",
+    "SerializableConfig",
+    "register_model",
+    "register_entry",
+    "get_model",
     "BiparGCN",
     "SynergyGraphEncoder",
     "SyndromeInduction",

@@ -81,6 +81,17 @@ class GraphHerbRecommender(Module, HerbRecommender):
     # ------------------------------------------------------------------
     # To be provided by subclasses
     # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset, config=None) -> "GraphHerbRecommender":
+        """Build the model (and its graphs) from a training corpus.
+
+        Every registered model implements this builder; it is the construction
+        path the model registry and the checkpoint loader go through, so the
+        entire architecture must be reproducible from ``(dataset, config)``
+        alone — learned state is restored separately via ``load_state_dict``.
+        """
+        raise NotImplementedError(f"{cls.__name__} does not implement from_dataset")
+
     @abc.abstractmethod
     def encode(self) -> Tuple[Tensor, Tensor]:
         """Return ``(symptom_embeddings, herb_embeddings)`` for all nodes."""

@@ -20,12 +20,13 @@ from ..graphs.bipartite import SymptomHerbGraph
 from ..nn import Dropout, Embedding, Linear, Tensor
 from .base import GraphHerbRecommender
 from .components import SyndromeInduction
+from .registry import SerializableConfig, register_model
 
 __all__ = ["GCMCConfig", "GCMC"]
 
 
 @dataclass
-class GCMCConfig:
+class GCMCConfig(SerializableConfig):
     """GC-MC hyper-parameters; the hidden dimension equals the embedding size."""
 
     embedding_dim: int = 64
@@ -40,6 +41,12 @@ class GCMCConfig:
             raise ValueError("message_dropout must be in [0, 1)")
 
 
+@register_model(
+    "GC-MC",
+    config=GCMCConfig,
+    description="Graph Convolutional Matrix Completion baseline (shared weights, 1 layer)",
+    order=20,
+)
 class GCMC(GraphHerbRecommender):
     """One-layer shared-weight GCN with sum aggregation over the bipartite graph."""
 

@@ -17,20 +17,21 @@ contrasts SMGCN against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..data.knowledge_graph import KnowledgeGraph
+from ..data.knowledge_graph import KnowledgeGraph, build_kg_from_latent
 from ..data.prescriptions import PrescriptionDataset
 from .base import HerbRecommender
+from .registry import SerializableConfig, register_model
 from .transe import TransE, TransEConfig
 
 __all__ = ["HCKGETMConfig", "HCKGETM"]
 
 
 @dataclass
-class HCKGETMConfig:
+class HCKGETMConfig(SerializableConfig):
     """HC-KGETM hyper-parameters (alpha/beta follow the paper's Table III spirit)."""
 
     num_topics: int = 20
@@ -56,6 +57,14 @@ class HCKGETMConfig:
             self.transe = TransEConfig(epochs=20, seed=self.seed)
 
 
+@register_model(
+    "HC-KGETM",
+    config=HCKGETMConfig,
+    description="Knowledge-graph-enhanced topic model baseline (collapsed Gibbs + TransE)",
+    needs_trainer=False,
+    order=10,
+    fit_kwargs=lambda corpus: {"knowledge_graph": build_kg_from_latent(corpus)},
+)
 class HCKGETM(HerbRecommender):
     """Topic-model herb recommender with TransE-smoothed topic-word distributions."""
 
@@ -92,6 +101,64 @@ class HCKGETM(HerbRecommender):
     @property
     def is_fitted(self) -> bool:
         return self.topic_herb_ is not None
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: PrescriptionDataset, config: Optional[HCKGETMConfig] = None
+    ) -> "HCKGETM":
+        """Build an unfitted model sized to ``dataset``'s vocabularies."""
+        return cls(dataset.num_symptoms, dataset.num_herbs, config)
+
+    # ------------------------------------------------------------------
+    # Serialisation (checkpoint support)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """The fitted posterior arrays (TransE itself is not needed to score)."""
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialise an unfitted HCKGETM")
+        state = {
+            "symptom_topic": self.symptom_topic_.copy(),
+            "topic_herb": self.topic_herb_.copy(),
+            "herb_prior": self.herb_prior_.copy(),
+        }
+        if self._kg_similarity is not None:
+            state["kg_similarity"] = self._kg_similarity.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the posterior arrays produced by :meth:`state_dict`."""
+        required = ("symptom_topic", "topic_herb", "herb_prior")
+        missing = [key for key in required if key not in state]
+        if missing:
+            raise KeyError(f"state dict mismatch: missing={missing}")
+        symptom_topic = np.asarray(state["symptom_topic"], dtype=np.float64)
+        topic_herb = np.asarray(state["topic_herb"], dtype=np.float64)
+        herb_prior = np.asarray(state["herb_prior"], dtype=np.float64)
+        if (
+            symptom_topic.ndim != 2
+            or symptom_topic.shape[0] != self._num_symptoms
+            or topic_herb.ndim != 2
+            or topic_herb.shape != (symptom_topic.shape[1], self._num_herbs)
+            or herb_prior.shape != (self._num_herbs,)
+        ):
+            raise ValueError(
+                "shape mismatch: expected symptom_topic "
+                f"({self._num_symptoms}, K), topic_herb (K, {self._num_herbs}) and "
+                f"herb_prior ({self._num_herbs},); got {symptom_topic.shape}, "
+                f"{topic_herb.shape}, {herb_prior.shape}"
+            )
+        kg_similarity = None
+        if "kg_similarity" in state:
+            kg_similarity = np.asarray(state["kg_similarity"], dtype=np.float64)
+            if kg_similarity.shape != (self._num_symptoms, self._num_herbs):
+                raise ValueError(
+                    f"shape mismatch for kg_similarity: expected "
+                    f"({self._num_symptoms}, {self._num_herbs}), got {kg_similarity.shape}"
+                )
+        self.symptom_topic_ = symptom_topic.copy()
+        self.topic_herb_ = topic_herb.copy()
+        self.herb_prior_ = herb_prior.copy()
+        self._kg_similarity = None if kg_similarity is None else kg_similarity.copy()
 
     # ------------------------------------------------------------------
     # Training

@@ -24,12 +24,13 @@ from ..graphs.synergy import SynergyGraph, build_herb_synergy_graph, build_sympt
 from ..nn import Dropout, Embedding, Linear, Tensor, concat, softmax
 from .base import GraphHerbRecommender
 from .components import SyndromeInduction
+from .registry import SerializableConfig, register_model
 
 __all__ = ["HeteGCNConfig", "HeteGCN"]
 
 
 @dataclass
-class HeteGCNConfig:
+class HeteGCNConfig(SerializableConfig):
     """HeteGCN hyper-parameters (1 layer, hidden 128, thresholds as Table III)."""
 
     embedding_dim: int = 64
@@ -47,6 +48,12 @@ class HeteGCNConfig:
             raise ValueError("message_dropout must be in [0, 1)")
 
 
+@register_model(
+    "HeteGCN",
+    config=HeteGCNConfig,
+    description="Heterogeneous-graph baseline (merged graph, type attention)",
+    order=50,
+)
 class HeteGCN(GraphHerbRecommender):
     """Heterogeneous GCN with type attention over a merged multi-relation graph."""
 

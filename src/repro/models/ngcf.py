@@ -27,12 +27,13 @@ from ..graphs.bipartite import SymptomHerbGraph
 from ..nn import Dropout, Embedding, Linear, Tensor, concat
 from .base import GraphHerbRecommender
 from .components import SyndromeInduction
+from .registry import SerializableConfig, register_model
 
 __all__ = ["NGCFConfig", "NGCF"]
 
 
 @dataclass
-class NGCFConfig:
+class NGCFConfig(SerializableConfig):
     """NGCF hyper-parameters (embedding size 64, layer width = embedding size)."""
 
     embedding_dim: int = 64
@@ -55,6 +56,12 @@ class NGCFConfig:
         return self.embedding_dim * (self.num_layers + 1)
 
 
+@register_model(
+    "NGCF",
+    config=NGCFConfig,
+    description="Neural Graph Collaborative Filtering baseline (interaction term, concat layers)",
+    order=40,
+)
 class NGCF(GraphHerbRecommender):
     """NGCF propagation over the joint symptom+herb node space."""
 

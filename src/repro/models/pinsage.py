@@ -22,12 +22,13 @@ from ..graphs.bipartite import SymptomHerbGraph
 from ..nn import Dropout, Embedding, Linear, Tensor, concat
 from .base import GraphHerbRecommender
 from .components import SyndromeInduction
+from .registry import SerializableConfig, register_model
 
 __all__ = ["PinSageConfig", "PinSage"]
 
 
 @dataclass
-class PinSageConfig:
+class PinSageConfig(SerializableConfig):
     """PinSage hyper-parameters (two layers, hidden width = embedding size)."""
 
     embedding_dim: int = 64
@@ -45,6 +46,12 @@ class PinSageConfig:
             raise ValueError("message_dropout must be in [0, 1)")
 
 
+@register_model(
+    "PinSage",
+    config=PinSageConfig,
+    description="Industrial GraphSAGE baseline (shared weights, concat aggregator)",
+    order=30,
+)
 class PinSage(GraphHerbRecommender):
     """Shared-weight GraphSAGE (concat aggregator) over the bipartite graph."""
 

@@ -1,0 +1,312 @@
+"""Model registry — the single source of truth for the model zoo.
+
+Every recommender class self-registers under its paper name via the
+:func:`register_model` decorator, carrying its config dataclass and a
+``from_dataset``-style builder.  Everything that used to hard-code the zoo as
+an if/elif chain (``build_neural_model``, ``train_and_evaluate``, the CLI)
+resolves models through :data:`MODEL_REGISTRY` instead, so adding a model is
+one decorator — no entry point needs to change.
+
+Config dataclasses mix in :class:`SerializableConfig`, giving every model a
+uniform ``to_dict()``/``from_dict()`` used by the checkpoint format
+(:mod:`repro.io.checkpoint`) to persist and rebuild models from disk.
+
+Importing :mod:`repro.models` populates the registry (each model module runs
+its decorator at import time); import that package, not this module alone,
+before looking names up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+    get_args,
+    get_origin,
+    get_type_hints,
+)
+
+import numpy as np
+
+__all__ = [
+    "SerializableConfig",
+    "ModelEntry",
+    "ModelRegistry",
+    "MODEL_REGISTRY",
+    "register_model",
+    "register_entry",
+    "get_model",
+    "config_defaults_from_profile",
+]
+
+
+# ----------------------------------------------------------------------
+# Uniform config serialisation
+# ----------------------------------------------------------------------
+def _serialise_value(value: Any) -> Any:
+    """Recursively convert a config value into JSON-compatible primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _serialise_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if field.init
+        }
+    if isinstance(value, (list, tuple)):
+        return [_serialise_value(item) for item in value]
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    return value
+
+
+class SerializableConfig:
+    """Mixin giving config dataclasses uniform ``to_dict()``/``from_dict()``.
+
+    ``to_dict`` recurses into nested config dataclasses (e.g. the TransE
+    config inside HC-KGETM's) and converts tuples to lists so the result is
+    JSON-serialisable; ``from_dict`` rebuilds nested configs from their dicts
+    and re-runs ``__post_init__`` validation.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        if not dataclasses.is_dataclass(self):
+            raise TypeError(f"{type(self).__name__} is not a dataclass")
+        return _serialise_value(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SerializableConfig":
+        hints = get_type_hints(cls)
+        kwargs: Dict[str, Any] = {}
+        for field in dataclasses.fields(cls):
+            if not field.init or field.name not in data:
+                continue
+            value = data[field.name]
+            hint = _unwrap_optional(hints.get(field.name))
+            if (
+                isinstance(value, Mapping)
+                and isinstance(hint, type)
+                and dataclasses.is_dataclass(hint)
+            ):
+                nested = getattr(hint, "from_dict", None)
+                value = nested(value) if nested is not None else hint(**dict(value))
+            kwargs[field.name] = value
+        return cls(**kwargs)
+
+
+def _unwrap_optional(hint: Any) -> Any:
+    """``Optional[X]`` / single-type unions resolve to ``X`` for nesting checks."""
+    if get_origin(hint) is Union:
+        non_none = [arg for arg in get_args(hint) if arg is not type(None)]
+        if len(non_none) == 1:
+            return non_none[0]
+    return hint
+
+
+# ----------------------------------------------------------------------
+# Profile-driven default configs
+# ----------------------------------------------------------------------
+#: How config dataclass fields map onto an experiment profile (duck-typed:
+#: anything with the attributes of ``repro.experiments.ExperimentProfile``).
+#: Only fields the config class declares are filled in, so e.g. GC-MC picks up
+#: ``embedding_dim`` but not ``layer_dims``.
+_PROFILE_FIELD_SOURCES: Dict[str, Callable[[Any], Any]] = {
+    "embedding_dim": lambda profile: profile.embedding_dim,
+    "layer_dims": lambda profile: profile.layer_dims,
+    "hidden_dim": lambda profile: profile.layer_dims[0],
+    "symptom_threshold": lambda profile: profile.symptom_threshold,
+    "herb_threshold": lambda profile: profile.herb_threshold,
+    "num_topics": lambda profile: profile.topic_count,
+    "gibbs_iterations": lambda profile: profile.gibbs_iterations,
+}
+
+
+def config_defaults_from_profile(config_class: type, profile: Any) -> Dict[str, Any]:
+    """Default config kwargs for ``config_class`` derived from a profile."""
+    defaults: Dict[str, Any] = {}
+    for field in dataclasses.fields(config_class):
+        source = _PROFILE_FIELD_SOURCES.get(field.name)
+        if source is not None:
+            defaults[field.name] = source(profile)
+    return defaults
+
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered model: its class, config dataclass and builder.
+
+    ``build(dataset, config)`` constructs an *untrained* model on a training
+    split.  ``needs_trainer`` distinguishes the neural models (optimised by
+    :class:`repro.training.Trainer`) from self-fitting baselines like
+    HC-KGETM, whose ``fit_kwargs`` callable derives extra ``model.fit``
+    arguments (e.g. a knowledge graph) from the experiment corpus.
+    """
+
+    name: str
+    model_class: type
+    config_class: type
+    build: Callable[..., Any]
+    description: str = ""
+    needs_trainer: bool = True
+    variant_of: Optional[str] = None
+    order: int = 100
+    fit_kwargs: Optional[Callable[[Any], Dict[str, Any]]] = None
+
+    def default_config(self, profile: Any = None, seed: int = 0, **overrides: Any) -> Any:
+        """Instantiate the config from profile defaults, ``seed`` and overrides."""
+        kwargs = config_defaults_from_profile(self.config_class, profile) if profile is not None else {}
+        if any(field.name == "seed" for field in dataclasses.fields(self.config_class)):
+            kwargs["seed"] = seed
+        kwargs.update(overrides)
+        return self.config_class(**kwargs)
+
+
+class ModelRegistry:
+    """Name → :class:`ModelEntry` mapping with stable, ordered iteration."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ModelEntry] = {}
+
+    def register(self, entry: ModelEntry) -> ModelEntry:
+        if entry.name in self._entries:
+            raise ValueError(f"model {entry.name!r} is already registered")
+        if not (isinstance(entry.config_class, type) and dataclasses.is_dataclass(entry.config_class)):
+            raise TypeError(f"config for {entry.name!r} must be a dataclass")
+        self._entries[entry.name] = entry
+        return entry
+
+    def get(self, name: str) -> ModelEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {name!r}; registered models: {', '.join(self.names())}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ModelEntry]:
+        return iter(self.entries())
+
+    def entries(self) -> List[ModelEntry]:
+        """Every entry, sorted by ``(order, name)``."""
+        return sorted(self._entries.values(), key=lambda entry: (entry.order, entry.name))
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(entry.name for entry in self.entries())
+
+    def neural_names(self) -> Tuple[str, ...]:
+        """Trainer-trained primary models (no ablation variants)."""
+        return tuple(
+            entry.name
+            for entry in self.entries()
+            if entry.needs_trainer and entry.variant_of is None
+        )
+
+    def variant_names(self) -> Tuple[str, ...]:
+        return tuple(entry.name for entry in self.entries() if entry.variant_of is not None)
+
+    def primary_names(self) -> Tuple[str, ...]:
+        """Every non-variant model, baselines included."""
+        return tuple(entry.name for entry in self.entries() if entry.variant_of is None)
+
+    def entry_for_model(self, model: Any) -> ModelEntry:
+        """The entry whose class produced ``model`` (primary entries win).
+
+        Ablation variants share their primary's class; the primary entry is
+        returned for them, which rebuilds the same architecture because the
+        variant flags live in the serialized config.
+        """
+        matches = [entry for entry in self.entries() if type(model) is entry.model_class]
+        if not matches:
+            raise KeyError(f"{type(model).__name__} is not a registered model class")
+        for entry in matches:
+            if entry.variant_of is None:
+                return entry
+        return matches[0]
+
+
+#: The process-wide registry every model module registers into.
+MODEL_REGISTRY = ModelRegistry()
+
+
+def register_entry(
+    name: str,
+    model_class: type,
+    config: type,
+    builder: Callable[..., Any],
+    *,
+    description: str = "",
+    needs_trainer: bool = True,
+    variant_of: Optional[str] = None,
+    order: int = 100,
+    fit_kwargs: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    registry: Optional[ModelRegistry] = None,
+) -> ModelEntry:
+    """Register one model (used directly for ablation variants)."""
+    target = registry if registry is not None else MODEL_REGISTRY
+    return target.register(
+        ModelEntry(
+            name=name,
+            model_class=model_class,
+            config_class=config,
+            build=builder,
+            description=description,
+            needs_trainer=needs_trainer,
+            variant_of=variant_of,
+            order=order,
+            fit_kwargs=fit_kwargs,
+        )
+    )
+
+
+def register_model(
+    name: str,
+    *,
+    config: type,
+    builder: Optional[Callable[..., Any]] = None,
+    description: str = "",
+    needs_trainer: bool = True,
+    order: int = 100,
+    fit_kwargs: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    registry: Optional[ModelRegistry] = None,
+) -> Callable[[type], type]:
+    """Class decorator: register the model under ``name``.
+
+    ``builder`` defaults to the class' ``from_dataset`` classmethod.
+    """
+
+    def decorate(cls: type) -> type:
+        register_entry(
+            name,
+            cls,
+            config,
+            builder if builder is not None else cls.from_dataset,
+            description=description,
+            needs_trainer=needs_trainer,
+            order=order,
+            fit_kwargs=fit_kwargs,
+            registry=registry,
+        )
+        return cls
+
+    return decorate
+
+
+def get_model(name: str) -> ModelEntry:
+    """Look up one registered model by name (raises ``KeyError`` if unknown)."""
+    return MODEL_REGISTRY.get(name)

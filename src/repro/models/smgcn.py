@@ -29,12 +29,13 @@ from ..graphs.synergy import SynergyGraph, build_herb_synergy_graph, build_sympt
 from ..nn import Embedding, Tensor
 from .base import GraphHerbRecommender
 from .components import BiparGCN, SynergyGraphEncoder, SyndromeInduction
+from .registry import SerializableConfig, register_entry, register_model
 
 __all__ = ["SMGCNConfig", "SMGCN"]
 
 
 @dataclass
-class SMGCNConfig:
+class SMGCNConfig(SerializableConfig):
     """Hyper-parameters of SMGCN (defaults follow Table III / Section V-D)."""
 
     embedding_dim: int = 64
@@ -62,6 +63,12 @@ class SMGCNConfig:
         return self.layer_dims[-1]
 
 
+@register_model(
+    "SMGCN",
+    config=SMGCNConfig,
+    description="Syndrome-aware Multi-Graph Convolution Network (the paper's model)",
+    order=60,
+)
 class SMGCN(GraphHerbRecommender):
     """The Syndrome-aware Multi-Graph Convolution Network."""
 
@@ -206,6 +213,37 @@ class SMGCN(GraphHerbRecommender):
         if self.config.use_syndrome_mlp:
             parts.append("SI")
         return " + ".join(parts)
+
+
+# Table V ablation sub-models: same class, flags forced by the builder (and
+# therefore recorded in the built model's config, so checkpoints round-trip).
+register_entry(
+    "Bipar-GCN",
+    SMGCN,
+    SMGCNConfig,
+    SMGCN.bipar_gcn_only,
+    description="SMGCN ablation: bipartite GCN only (no SGE, mean-pool syndrome)",
+    variant_of="SMGCN",
+    order=61,
+)
+register_entry(
+    "Bipar-GCN w/ SGE",
+    SMGCN,
+    SMGCNConfig,
+    SMGCN.bipar_gcn_with_sge,
+    description="SMGCN ablation: + synergy graph encoder, mean-pool syndrome",
+    variant_of="SMGCN",
+    order=62,
+)
+register_entry(
+    "Bipar-GCN w/ SI",
+    SMGCN,
+    SMGCNConfig,
+    SMGCN.bipar_gcn_with_si,
+    description="SMGCN ablation: + syndrome-induction MLP, no synergy graphs",
+    variant_of="SMGCN",
+    order=63,
+)
 
 
 def _config_kwargs(config: SMGCNConfig) -> dict:

@@ -16,12 +16,13 @@ from typing import Optional
 import numpy as np
 
 from ..data.knowledge_graph import KnowledgeGraph
+from .registry import SerializableConfig
 
 __all__ = ["TransEConfig", "TransE"]
 
 
 @dataclass
-class TransEConfig:
+class TransEConfig(SerializableConfig):
     """TransE hyper-parameters."""
 
     embedding_dim: int = 32

@@ -1,6 +1,12 @@
 """Training loop and configuration for the neural herb recommenders."""
 
-from .config import PAPER_OPTIMAL_PARAMETERS, TrainerConfig
+from .config import PAPER_OPTIMAL_PARAMETERS, TrainerConfig, paper_trainer_config
 from .trainer import Trainer, TrainingHistory
 
-__all__ = ["TrainerConfig", "Trainer", "TrainingHistory", "PAPER_OPTIMAL_PARAMETERS"]
+__all__ = [
+    "TrainerConfig",
+    "Trainer",
+    "TrainingHistory",
+    "PAPER_OPTIMAL_PARAMETERS",
+    "paper_trainer_config",
+]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["TrainerConfig", "PAPER_OPTIMAL_PARAMETERS"]
+__all__ = ["TrainerConfig", "PAPER_OPTIMAL_PARAMETERS", "paper_trainer_config"]
 
 _VALID_LOSSES = ("multilabel", "multilabel_unweighted", "bpr", "logloss")
 
@@ -58,3 +58,26 @@ PAPER_OPTIMAL_PARAMETERS = {
     "HeteGCN": {"lr": 3e-3, "dropout": 0.0, "lambda": 1e-3, "xs": 5, "xh": 40},
     "SMGCN": {"lr": 2e-4, "dropout": 0.0, "lambda": 7e-3, "xs": 5, "xh": 40},
 }
+
+
+def paper_trainer_config(model_name: str, **overrides) -> TrainerConfig:
+    """A :class:`TrainerConfig` seeded from the paper's Table III optimum.
+
+    Maps the table's ``lr`` / ``lambda`` keys onto ``learning_rate`` /
+    ``weight_decay`` in one place, so no experiment needs its own ad-hoc
+    translation.  ``overrides`` win over the paper values (e.g. scale down
+    ``epochs``).  Raises ``KeyError`` for models without trainer settings in
+    the table (e.g. HC-KGETM, which does not use the Trainer).
+    """
+    try:
+        params = PAPER_OPTIMAL_PARAMETERS[model_name]
+    except KeyError:
+        raise KeyError(
+            f"no paper parameters recorded for {model_name!r}; "
+            f"known models: {sorted(PAPER_OPTIMAL_PARAMETERS)}"
+        ) from None
+    if "lr" not in params:
+        raise KeyError(f"{model_name!r} has no trainer settings in Table III")
+    base = {"learning_rate": params["lr"], "weight_decay": params["lambda"]}
+    base.update(overrides)
+    return TrainerConfig(**base)

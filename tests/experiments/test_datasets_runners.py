@@ -107,3 +107,48 @@ class TestModelZoo:
     def test_all_model_names(self):
         assert "SMGCN" in ALL_MODEL_NAMES
         assert "HC-KGETM" in ALL_MODEL_NAMES
+
+    def test_name_tuples_derive_from_registry(self):
+        from repro.experiments import NEURAL_MODEL_NAMES, SUBMODEL_NAMES
+        from repro.models import MODEL_REGISTRY
+
+        assert NEURAL_MODEL_NAMES == MODEL_REGISTRY.neural_names()
+        assert SUBMODEL_NAMES == MODEL_REGISTRY.variant_names()
+        assert ALL_MODEL_NAMES == MODEL_REGISTRY.primary_names()
+
+    def test_build_neural_model_rejects_non_neural(self):
+        with pytest.raises(KeyError, match="not a neural model"):
+            build_neural_model("HC-KGETM", scale="smoke")
+
+    def test_trainer_config_refused_for_self_fitting_model(self):
+        from repro.experiments import train_registered_model
+
+        with pytest.raises(ValueError, match="ignores TrainerConfig"):
+            train_registered_model(
+                "HC-KGETM", scale="smoke", trainer_config=TrainerConfig(epochs=1)
+            )
+
+
+class TestSeedPlumbing:
+    """Seeded reruns must not silently share initialisations (old hardcoded seed=0)."""
+
+    @pytest.mark.parametrize("name", ["GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN"])
+    def test_different_seeds_differ(self, name):
+        state_a = build_neural_model(name, scale="smoke", seed=1).state_dict()
+        state_b = build_neural_model(name, scale="smoke", seed=2).state_dict()
+        assert set(state_a) == set(state_b)
+        assert any(not np.array_equal(state_a[key], state_b[key]) for key in state_a)
+
+    def test_same_seed_is_reproducible(self):
+        state_a = build_neural_model("GC-MC", scale="smoke", seed=5).state_dict()
+        state_b = build_neural_model("GC-MC", scale="smoke", seed=5).state_dict()
+        assert all(np.array_equal(state_a[key], state_b[key]) for key in state_a)
+
+    def test_seed_reaches_the_config(self):
+        assert build_neural_model("SMGCN", scale="smoke", seed=9).config.seed == 9
+
+    def test_hc_kgetm_seed(self):
+        from repro.experiments import build_registered_model
+
+        model = build_registered_model("HC-KGETM", scale="smoke", seed=4)
+        assert model.config.seed == 4

@@ -1,0 +1,190 @@
+"""Tests for the model registry and uniform config serialisation."""
+
+import dataclasses
+
+import pytest
+
+from repro.models import (
+    HCKGETM,
+    MODEL_REGISTRY,
+    SMGCN,
+    GCMCConfig,
+    HCKGETMConfig,
+    HeteGCNConfig,
+    ModelEntry,
+    ModelRegistry,
+    NGCFConfig,
+    PinSageConfig,
+    SMGCNConfig,
+    TransEConfig,
+    get_model,
+    register_entry,
+)
+from repro.models.registry import config_defaults_from_profile
+
+
+class TestRegistryContents:
+    def test_zoo_names(self):
+        names = MODEL_REGISTRY.names()
+        for expected in (
+            "HC-KGETM",
+            "GC-MC",
+            "PinSage",
+            "NGCF",
+            "HeteGCN",
+            "SMGCN",
+            "Bipar-GCN",
+            "Bipar-GCN w/ SGE",
+            "Bipar-GCN w/ SI",
+        ):
+            assert expected in names
+
+    def test_neural_names_in_table_order(self):
+        assert MODEL_REGISTRY.neural_names() == ("GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN")
+
+    def test_primary_names_start_with_baseline(self):
+        primary = MODEL_REGISTRY.primary_names()
+        assert primary[0] == "HC-KGETM"
+        assert "Bipar-GCN" not in primary
+
+    def test_variants_point_at_smgcn(self):
+        for name in MODEL_REGISTRY.variant_names():
+            assert MODEL_REGISTRY.get(name).variant_of == "SMGCN"
+            assert MODEL_REGISTRY.get(name).model_class is SMGCN
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="registered models"):
+            get_model("DeepHerb")
+
+    def test_contains_and_len(self):
+        assert "SMGCN" in MODEL_REGISTRY
+        assert "DeepHerb" not in MODEL_REGISTRY
+        assert len(MODEL_REGISTRY) >= 9
+
+    def test_hc_kgetm_is_self_fitting(self):
+        entry = get_model("HC-KGETM")
+        assert not entry.needs_trainer
+        assert entry.fit_kwargs is not None
+        assert entry.model_class is HCKGETM
+
+    def test_duplicate_registration_rejected(self):
+        registry = ModelRegistry()
+        register_entry("M", SMGCN, SMGCNConfig, SMGCN.from_dataset, registry=registry)
+        with pytest.raises(ValueError, match="already registered"):
+            register_entry("M", SMGCN, SMGCNConfig, SMGCN.from_dataset, registry=registry)
+
+    def test_non_dataclass_config_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(TypeError, match="dataclass"):
+            registry.register(
+                ModelEntry(name="X", model_class=SMGCN, config_class=int, build=SMGCN.from_dataset)
+            )
+
+    def test_entry_for_model_prefers_primary(self, tiny_split):
+        train, _ = tiny_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4
+        )
+        model = SMGCN.bipar_gcn_only(train, config)
+        assert MODEL_REGISTRY.entry_for_model(model).name == "SMGCN"
+
+    def test_entry_for_model_unregistered_class(self):
+        with pytest.raises(KeyError, match="not a registered model class"):
+            MODEL_REGISTRY.entry_for_model(object())
+
+
+class TestConfigSerialisation:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SMGCNConfig(embedding_dim=8, layer_dims=(12, 24), message_dropout=0.1),
+            GCMCConfig(embedding_dim=8, use_syndrome_mlp=False),
+            PinSageConfig(embedding_dim=8, num_layers=3),
+            NGCFConfig(embedding_dim=8, num_layers=1),
+            HeteGCNConfig(embedding_dim=8, hidden_dim=12, attention_dim=4),
+            HCKGETMConfig(num_topics=4, gibbs_iterations=2, seed=3),
+            TransEConfig(embedding_dim=8, epochs=2),
+        ],
+    )
+    def test_round_trip(self, config):
+        data = config.to_dict()
+        rebuilt = type(config).from_dict(data)
+        assert rebuilt == config
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        payload = HCKGETMConfig().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_tuples_become_lists(self):
+        data = SMGCNConfig(layer_dims=(8, 16)).to_dict()
+        assert data["layer_dims"] == [8, 16]
+        assert SMGCNConfig.from_dict(data).layer_dims == (8, 16)
+
+    def test_nested_transe_config_round_trips(self):
+        config = HCKGETMConfig(transe=TransEConfig(embedding_dim=12, epochs=7))
+        rebuilt = HCKGETMConfig.from_dict(config.to_dict())
+        assert isinstance(rebuilt.transe, TransEConfig)
+        assert rebuilt.transe.embedding_dim == 12
+        assert rebuilt.transe.epochs == 7
+
+    def test_from_dict_revalidates(self):
+        data = SMGCNConfig().to_dict()
+        data["embedding_dim"] = -1
+        with pytest.raises(ValueError):
+            SMGCNConfig.from_dict(data)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = GCMCConfig().to_dict()
+        data["not_a_field"] = 1
+        assert GCMCConfig.from_dict(data) == GCMCConfig()
+
+    def test_from_dict_unwraps_optional_nested_configs(self):
+        from dataclasses import dataclass
+        from typing import Optional
+
+        from repro.models.registry import SerializableConfig
+
+        @dataclass
+        class Wrapper(SerializableConfig):
+            transe: Optional[TransEConfig] = None
+
+        rebuilt = Wrapper.from_dict({"transe": TransEConfig(embedding_dim=5).to_dict()})
+        assert isinstance(rebuilt.transe, TransEConfig)
+        assert rebuilt.transe.embedding_dim == 5
+        assert Wrapper.from_dict({"transe": None}).transe is None
+
+
+class TestProfileDefaults:
+    def test_defaults_only_cover_declared_fields(self):
+        from repro.experiments.datasets import get_profile
+
+        profile = get_profile("smoke")
+        gcmc = config_defaults_from_profile(GCMCConfig, profile)
+        assert gcmc == {"embedding_dim": profile.embedding_dim}
+        smgcn = config_defaults_from_profile(SMGCNConfig, profile)
+        assert smgcn["layer_dims"] == profile.layer_dims
+        assert smgcn["symptom_threshold"] == profile.symptom_threshold
+        hete = config_defaults_from_profile(HeteGCNConfig, profile)
+        assert hete["hidden_dim"] == profile.layer_dims[0]
+        topic = config_defaults_from_profile(HCKGETMConfig, profile)
+        assert topic == {
+            "num_topics": profile.topic_count,
+            "gibbs_iterations": profile.gibbs_iterations,
+        }
+
+    def test_default_config_applies_seed_and_overrides(self):
+        from repro.experiments.datasets import get_profile
+
+        entry = get_model("SMGCN")
+        config = entry.default_config(get_profile("smoke"), seed=7, message_dropout=0.2)
+        assert config.seed == 7
+        assert config.message_dropout == 0.2
+        assert config.embedding_dim == get_profile("smoke").embedding_dim
+
+    def test_every_registered_config_is_a_dataclass_with_seed(self):
+        for entry in MODEL_REGISTRY.entries():
+            assert dataclasses.is_dataclass(entry.config_class)
+            field_names = {field.name for field in dataclasses.fields(entry.config_class)}
+            assert "seed" in field_names

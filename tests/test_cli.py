@@ -92,6 +92,167 @@ class TestParseSymptoms:
             _parse_symptoms("   ", vocab)
 
 
+class TestModelsCommand:
+    def test_models_lists_registry(self, capsys):
+        from repro.models import MODEL_REGISTRY
+
+        assert main(["models", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        for name in MODEL_REGISTRY.names():
+            assert name in out
+        assert "SMGCNConfig" in out
+
+
+class TestTrainCommand:
+    def test_train_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "SMGCN"])
+
+    def test_train_writes_checkpoint(self, tmp_path, capsys):
+        target = tmp_path / "smgcn.npz"
+        code = main(
+            ["train", "--model", "SMGCN", "--scale", "smoke", "--epochs", "1",
+             "--checkpoint", str(target), "--evaluate"]
+        )
+        assert code == 0
+        assert target.exists()
+        out = capsys.readouterr().out
+        assert "trained SMGCN" in out
+        assert str(target) in out
+        assert "p@5=" in out
+
+    def test_train_unknown_model(self, tmp_path, capsys):
+        code = main(["train", "--model", "DeepHerb", "--checkpoint", str(tmp_path / "x.npz")])
+        assert code == 2
+        assert "registered models" in capsys.readouterr().err
+
+    def test_train_paper_params(self, tmp_path, capsys):
+        target = tmp_path / "paper.npz"
+        code = main(
+            ["train", "--model", "GC-MC", "--scale", "smoke", "--epochs", "1",
+             "--paper-params", "--checkpoint", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+
+    def test_train_paper_params_keeps_profile_epochs(self, tmp_path, capsys):
+        from repro.experiments.datasets import get_profile
+
+        code = main(
+            ["train", "--model", "GC-MC", "--scale", "smoke", "--paper-params",
+             "--checkpoint", str(tmp_path / "p.npz")]
+        )
+        assert code == 0
+        # lr/lambda come from Table III but the epoch/batch schedule stays the
+        # profile's, not TrainerConfig's defaults
+        assert f"for {get_profile('smoke').epochs} epochs" in capsys.readouterr().out
+
+    def test_train_unwritable_checkpoint_fails_before_training(self, tmp_path, capsys, monkeypatch):
+        # a regular file as the parent "directory" is unwritable for any user
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("training must not start when the target is unwritable")
+
+        monkeypatch.setattr("repro.training.trainer.Trainer.fit", boom)
+        code = main(
+            ["train", "--model", "SMGCN", "--scale", "smoke",
+             "--checkpoint", str(blocker / "m.npz")]
+        )
+        assert code == 2
+        assert "cannot write checkpoint" in capsys.readouterr().err
+
+    def test_train_paper_params_rejects_non_trainer_model(self, tmp_path, capsys):
+        code = main(
+            ["train", "--model", "HC-KGETM", "--paper-params",
+             "--checkpoint", str(tmp_path / "x.npz")]
+        )
+        assert code == 2
+        assert "no trainer settings" in capsys.readouterr().err
+
+
+class TestCheckpointServing:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-ckpt") / "smgcn.npz"
+        assert (
+            main(["train", "--model", "SMGCN", "--scale", "smoke", "--epochs", "1",
+                  "--checkpoint", str(path)]) == 0
+        )
+        return path
+
+    def test_predict_from_checkpoint_does_not_train(self, checkpoint, capsys, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("Trainer.fit must not run for --checkpoint predict")
+
+        monkeypatch.setattr("repro.training.trainer.Trainer.fit", boom)
+        code = main(["predict", "--checkpoint", str(checkpoint), "--symptoms", "0 3", "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "symptoms: symptom_000 symptom_003" in out
+        assert out.count("score=") == 2
+
+    def test_predict_checkpoint_matches_in_process_scores(self, checkpoint, capsys):
+        from repro.api import Pipeline
+
+        assert main(["predict", "--checkpoint", str(checkpoint), "--symptoms", "0 3"]) == 0
+        out = capsys.readouterr().out
+        pipeline = Pipeline.load(checkpoint)
+        expected = pipeline.recommend([0, 3], k=10)
+        for herb_id, score in zip(expected.herb_ids, expected.scores):
+            assert f"id={herb_id}" in out
+            assert f"score={score:+.4f}" in out
+
+    def test_serve_from_checkpoint(self, checkpoint, capsys, monkeypatch):
+        import io
+
+        def boom(*args, **kwargs):
+            raise AssertionError("Trainer.fit must not run for --checkpoint serve")
+
+        monkeypatch.setattr("repro.training.trainer.Trainer.fit", boom)
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 3\n\n"))
+        code = main(["serve", "--checkpoint", str(checkpoint), "--k", "3"])
+        assert code == 0
+        captured = capsys.readouterr()
+        herb_lines = [line for line in captured.out.splitlines() if line.startswith("herb_")]
+        assert len(herb_lines) == 1
+        assert str(checkpoint) in captured.err
+
+    def test_predict_missing_checkpoint_errors_cleanly(self, capsys):
+        code = main(["predict", "--checkpoint", "/nonexistent/x.npz", "--symptoms", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_predict_checkpoint_scale_mismatch_refused(self, checkpoint, capsys):
+        code = main(
+            ["predict", "--checkpoint", str(checkpoint), "--scale", "default", "--symptoms", "0"]
+        )
+        assert code == 2
+        assert "mismatch" in capsys.readouterr().err
+
+    def test_predict_checkpoint_model_conflict_refused(self, checkpoint, capsys):
+        code = main(
+            ["predict", "--checkpoint", str(checkpoint), "--model", "NGCF", "--symptoms", "0"]
+        )
+        assert code == 2
+        assert "holds 'SMGCN', not 'NGCF'" in capsys.readouterr().err
+
+    def test_predict_checkpoint_training_flags_refused(self, checkpoint, capsys):
+        for flag in (["--epochs", "1"], ["--seed", "7"]):
+            code = main(["predict", "--checkpoint", str(checkpoint), "--symptoms", "0", *flag])
+            assert code == 2
+            assert "only apply when training" in capsys.readouterr().err
+
+    def test_train_epochs_refused_for_self_fitting_model(self, tmp_path, capsys):
+        code = main(
+            ["train", "--model", "HC-KGETM", "--scale", "smoke", "--epochs", "5",
+             "--checkpoint", str(tmp_path / "x.npz")]
+        )
+        assert code == 2
+        assert "ignores TrainerConfig" in capsys.readouterr().err
+
+
 class TestPredictServe:
     def test_predict_requires_symptoms(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,28 @@
+"""Tests for the PAPER_OPTIMAL_PARAMETERS → TrainerConfig mapping helper."""
+
+import pytest
+
+from repro.training import PAPER_OPTIMAL_PARAMETERS, TrainerConfig, paper_trainer_config
+
+
+class TestPaperTrainerConfig:
+    @pytest.mark.parametrize("name", ["GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN"])
+    def test_maps_lr_and_lambda(self, name):
+        config = paper_trainer_config(name)
+        assert isinstance(config, TrainerConfig)
+        assert config.learning_rate == PAPER_OPTIMAL_PARAMETERS[name]["lr"]
+        assert config.weight_decay == PAPER_OPTIMAL_PARAMETERS[name]["lambda"]
+
+    def test_overrides_win(self):
+        config = paper_trainer_config("SMGCN", epochs=3, learning_rate=1e-2)
+        assert config.epochs == 3
+        assert config.learning_rate == 1e-2
+        assert config.weight_decay == PAPER_OPTIMAL_PARAMETERS["SMGCN"]["lambda"]
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="known models"):
+            paper_trainer_config("DeepHerb")
+
+    def test_model_without_trainer_settings(self):
+        with pytest.raises(KeyError, match="no trainer settings"):
+            paper_trainer_config("HC-KGETM")
