@@ -169,18 +169,45 @@ class Pipeline:
         self, symptoms: Union[str, Sequence[Union[int, str]]], k: int = 10
     ) -> Recommendation:
         """Top-``k`` herbs for one symptom set (tokens and/or integer ids)."""
-        if k <= 0:
+        return self.recommend_many([symptoms], k=k)[0]
+
+    def recommend_many(
+        self,
+        queries: Sequence[Union[str, Sequence[Union[int, str]]]],
+        k: Union[int, Sequence[int]] = 10,
+    ) -> List[Recommendation]:
+        """Top-``k`` herbs for many symptom sets through one batched scoring pass.
+
+        ``queries`` mixes token strings and id sequences; ``k`` is one integer
+        or one per query.  The whole batch is answered from a single pooling
+        matmul (per chunk) instead of one model call per query — this is the
+        passthrough the micro-batching serving layer drains its queue through.
+        Answers are bit-identical to calling :meth:`recommend` per query.
+        """
+        queries = list(queries)
+        ks = [k] * len(queries) if isinstance(k, (int, np.integer)) else list(k)
+        if len(ks) != len(queries):
+            raise ValueError(f"got {len(ks)} k values for {len(queries)} queries")
+        if any(kk <= 0 for kk in ks):
             raise ValueError("k must be positive")
-        symptom_ids = parse_symptom_tokens(symptoms, self.symptom_vocab)
+        if not queries:
+            return []
+        vocab = self.symptom_vocab
+        sets = [tuple(parse_symptom_tokens(query, vocab)) for query in queries]
         model = self._require_model()
         if isinstance(model, GraphHerbRecommender):
-            return self.engine.recommend(symptom_ids, k=k)
-        scores = model.score_sets([tuple(symptom_ids)])
-        top = top_k_indices(scores, min(k, scores.shape[1]))[0]
-        return Recommendation(
-            herb_ids=tuple(int(h) for h in top),
-            scores=tuple(float(scores[0, h]) for h in top),
-        )
+            return self.engine.recommend_batch(sets, k=ks)
+        scores = model.score_sets(sets)
+        results: List[Recommendation] = []
+        for row, kk in enumerate(ks):
+            top = top_k_indices(scores[row : row + 1], min(kk, scores.shape[1]))[0]
+            results.append(
+                Recommendation(
+                    herb_ids=tuple(int(h) for h in top),
+                    scores=tuple(float(scores[row, h]) for h in top),
+                )
+            )
+        return results
 
     def decode_herbs(self, recommendation: Recommendation) -> List[str]:
         """Herb tokens for a :class:`Recommendation`'s ids."""

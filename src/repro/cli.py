@@ -18,9 +18,10 @@ Examples::
 bundle.  ``predict`` and ``serve`` answer top-k herb queries; given
 ``--checkpoint`` they load the trained weights from disk in milliseconds
 instead of retraining, otherwise they train first on the chosen scale.
-``serve`` keeps the model resident and answers one symptom set per stdin line
-from the cached graph propagation, so every request after the first costs
-only a sparse pooling matmul.
+``serve`` keeps the model resident and micro-batches requests — stdin lines
+by default (response N answers input line N, including ``error:`` lines), or
+TCP connections with ``--port`` — through one pooling matmul per flush
+(``--max-batch``/``--max-wait-ms``), reporting stats on shutdown.
 """
 
 from __future__ import annotations
@@ -97,9 +98,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve_parser = subparsers.add_parser(
-        "serve", help="answer one symptom set per stdin line from the cached propagation"
+        "serve",
+        help="micro-batched serving: stdin lines by default, TCP with --port",
     )
     _add_serving_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve the line protocol over TCP on this port (0 picks a free "
+        "one) instead of stdin; stop with SIGINT/SIGTERM",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --port (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush a batch as soon as this many requests are queued (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="flush a partial batch once its oldest request has waited this "
+        "long (default: 5.0)",
+    )
     return parser
 
 
@@ -323,6 +348,12 @@ def _run_serve(args) -> int:
     error = _check_k(args)
     if error is not None:
         return error
+    if args.max_batch <= 0:
+        print("error: --max-batch must be a positive integer", file=sys.stderr)
+        return 2
+    if args.max_wait_ms < 0:
+        print("error: --max-wait-ms must be non-negative", file=sys.stderr)
+        return 2
     try:
         pipeline = _load_or_none(args)
         if pipeline is None:
@@ -331,30 +362,72 @@ def _run_serve(args) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     from .models.base import GraphHerbRecommender
+    from .serving import MicroBatcher, RecommendationHandler, ServerStats, serve_lines
 
     if isinstance(pipeline.model, GraphHerbRecommender):
         pipeline.engine  # warm the propagation before taking traffic
-    symptom_vocab = pipeline.symptom_vocab
-    herb_vocab = pipeline.herb_vocab
-    source = args.checkpoint if args.checkpoint else "trained in-process"
-    print(
-        f"ready: {pipeline.model_name} ({pipeline.scale}, {source}); "
-        "one symptom set per line, blank line or EOF quits",
-        file=sys.stderr,
+    stats = ServerStats()
+    handler = RecommendationHandler(pipeline, k=args.k, stats=stats)
+    batcher = MicroBatcher(
+        handler,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        stats=stats,
     )
-    for raw_line in sys.stdin:
-        line = raw_line.strip()
-        if not line:
-            break
-        try:
-            symptom_ids = _parse_symptoms(line, symptom_vocab)
-        except ValueError as err:
-            print(f"error: {err}", file=sys.stderr)
-            continue
-        recommendation = pipeline.recommend(symptom_ids, k=args.k)
-        tokens = " ".join(herb_vocab.token_of(h) for h in recommendation.herb_ids)
-        print(tokens, flush=True)
+    source = args.checkpoint if args.checkpoint else "trained in-process"
+    try:
+        if args.port is not None:
+            _serve_socket(args, pipeline, batcher, stats, source)
+        else:
+            print(
+                f"ready: {pipeline.model_name} ({pipeline.scale}, {source}); "
+                "one symptom set per line, blank line or EOF quits",
+                file=sys.stderr,
+            )
+            try:
+                serve_lines(sys.stdin, lambda line: print(line, flush=True), batcher)
+            except KeyboardInterrupt:
+                pass  # Ctrl-C: stop reading, still report stats below
+    except OSError as err:  # e.g. --port already in use / privileged
+        print(f"error: {err}", file=sys.stderr)
+        batcher.close(drain=False)
+        return 2
+    batcher.close()
+    print(stats.to_text(), file=sys.stderr)
     return 0
+
+
+def _serve_socket(args, pipeline, batcher, stats, source) -> None:
+    """Run the TCP front-end until SIGINT/SIGTERM requests a shutdown."""
+    import signal
+    import threading
+
+    from .serving import SocketServer
+
+    server = SocketServer(batcher, stats=stats, host=args.host, port=args.port).start()
+    host, port = server.address
+    print(
+        f"listening on {host}:{port} ({pipeline.model_name}, {pipeline.scale}, {source}); "
+        "one symptom set per line, 'stats' for counters, SIGINT/SIGTERM to stop",
+        file=sys.stderr,
+        flush=True,
+    )
+    shutdown = threading.Event()
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, lambda *_: shutdown.set())
+    except ValueError:
+        pass  # not the main thread (e.g. under a test runner) — rely on KeyboardInterrupt
+    try:
+        while not shutdown.is_set():
+            shutdown.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, old_handler in previous.items():
+            signal.signal(signum, old_handler)
+        server.stop()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

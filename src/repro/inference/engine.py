@@ -15,7 +15,7 @@ chunking large requests so the CSR pooling matrices stay small.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -93,23 +93,36 @@ class InferenceEngine:
         ]
         return np.vstack(rows)
 
-    def recommend_batch(self, symptom_sets: Sequence[Sequence[int]], k: int = 20) -> List[Recommendation]:
-        """Top-``k`` recommendations for every symptom set."""
-        if k <= 0:
+    def recommend_batch(
+        self, symptom_sets: Sequence[Sequence[int]], k: Union[int, Sequence[int]] = 20
+    ) -> List[Recommendation]:
+        """Top-``k`` recommendations for every symptom set.
+
+        ``k`` may be one integer for the whole batch or one per symptom set,
+        so requests asking for different list lengths can share a single
+        scoring matmul.  Rows are ranked per distinct ``k`` with exactly the
+        same ``top_k_indices`` call a sequential request would make, keeping
+        batched answers bit-identical to single-request ones even for tied
+        scores.
+        """
+        ks = [k] * len(symptom_sets) if isinstance(k, (int, np.integer)) else list(k)
+        if len(ks) != len(symptom_sets):
+            raise ValueError(f"got {len(ks)} k values for {len(symptom_sets)} symptom sets")
+        if any(kk <= 0 for kk in ks):
             raise ValueError("k must be positive")
         scores = self.score_batch(symptom_sets)
         if scores.shape[0] == 0:
             return []
-        top = top_k_indices(scores, k)
-        row_indices = np.arange(scores.shape[0])[:, None]
-        top_scores = scores[row_indices, top]
-        return [
-            Recommendation(
-                herb_ids=tuple(int(h) for h in top[row]),
-                scores=tuple(float(s) for s in top_scores[row]),
-            )
-            for row in range(scores.shape[0])
-        ]
+        results: List[Recommendation] = [None] * scores.shape[0]  # type: ignore[list-item]
+        for kk in sorted(set(ks)):
+            rows = [row for row, row_k in enumerate(ks) if row_k == kk]
+            top = top_k_indices(scores[rows], int(kk))
+            for position, row in enumerate(rows):
+                results[row] = Recommendation(
+                    herb_ids=tuple(int(h) for h in top[position]),
+                    scores=tuple(float(scores[row, h]) for h in top[position]),
+                )
+        return results
 
     def recommend(self, symptom_set: Sequence[int], k: int = 20) -> Recommendation:
         """Top-``k`` recommendation for one symptom set."""

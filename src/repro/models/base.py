@@ -22,7 +22,19 @@ import numpy as np
 
 from ..nn import Module, Tensor, no_grad
 
-__all__ = ["HerbRecommender", "GraphHerbRecommender"]
+__all__ = ["HerbRecommender", "GraphHerbRecommender", "SCORING_BLOCK"]
+
+#: Fixed row-block size for the evaluation/serving scoring path.  Every
+#: ``score_sets`` call is padded to a multiple of this many rows so that the
+#: dense matmuls (syndrome MLP, final herb inner product) always run with the
+#: same shape.  BLAS kernels pick different summation orders for different
+#: shapes (gemv vs gemm, blocking), so without the padding the same request
+#: scores differently at the 1e-17 level depending on its batchmates — enough
+#: to flip near-tied top-k orderings between batched and sequential serving.
+#: With a fixed block, a request's row is computed by the identical sequence
+#: of float ops no matter how it was batched, making micro-batched responses
+#: bit-identical to single-request ones.
+SCORING_BLOCK = 64
 
 
 class HerbRecommender(abc.ABC):
@@ -168,6 +180,9 @@ class GraphHerbRecommender(Module, HerbRecommender):
             self.invalidate_cache()
         return super().train(mode)
 
+    #: Overridable per instance/subclass; see :data:`SCORING_BLOCK`.
+    scoring_block: int = SCORING_BLOCK
+
     def score_sets(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
         """Evaluation-mode scoring: no dropout, no autograd graph.
 
@@ -175,14 +190,29 @@ class GraphHerbRecommender(Module, HerbRecommender):
         ``encode()`` runs at most once while the parameters are frozen, no
         matter how many batches are scored.  Only the per-batch syndrome
         induction (pooling + MLP) is recomputed here.
+
+        The batch is processed in fixed-size row blocks of
+        :attr:`scoring_block` (the final block padded with a dummy set), so a
+        request's scores are bit-identical whether it arrives alone or inside
+        a micro-batch — the property the serving layer's determinism tests
+        pin down.
         """
+        num_sets = len(symptom_sets)
+        if num_sets == 0:
+            return np.zeros((0, self.num_herbs), dtype=np.float64)
+        block = max(1, int(self.scoring_block))
+        padded = list(symptom_sets) + [(0,)] * (-num_sets % block)
         symptom_embeddings, herb_embeddings = self.cached_encode()
         was_training = self.training
         self._apply_training_flag(False)
+        rows = []
         try:
             with no_grad():
-                syndrome = self.induce_syndrome(Tensor(symptom_embeddings), symptom_sets)
-                scores = (syndrome @ Tensor(herb_embeddings).T).data
+                for start in range(0, len(padded), block):
+                    syndrome = self.induce_syndrome(
+                        Tensor(symptom_embeddings), padded[start : start + block]
+                    )
+                    rows.append((syndrome @ Tensor(herb_embeddings).T).data)
         finally:
             self._apply_training_flag(was_training)
-        return np.array(scores, dtype=np.float64)
+        return np.array(np.vstack(rows)[:num_sets], dtype=np.float64)

@@ -1,0 +1,31 @@
+"""Micro-batched serving subsystem.
+
+Aggregates concurrent requests — from TCP connections or a piped stdin burst —
+into batches that flush through one
+:meth:`~repro.inference.engine.InferenceEngine.score_batch` pooling matmul,
+with per-request futures, error isolation and live stats:
+
+* :class:`MicroBatcher` — size/timeout-triggered request aggregation;
+* :class:`RecommendationHandler` — line protocol parsing + batched scoring;
+* :class:`SocketServer` / :func:`serve_lines` — TCP and stdin front-ends;
+* :class:`ServerStats` — requests, batches, mean batch size, latency
+  percentiles.
+
+Responses are bit-identical to sequential
+:meth:`~repro.api.Pipeline.recommend` calls: the scoring path runs in fixed
+row blocks (see :data:`repro.models.base.SCORING_BLOCK`), so a request's
+answer does not depend on its batchmates.
+"""
+
+from .batcher import MicroBatcher
+from .handler import RecommendationHandler
+from .server import SocketServer, serve_lines
+from .stats import ServerStats
+
+__all__ = [
+    "MicroBatcher",
+    "RecommendationHandler",
+    "ServerStats",
+    "SocketServer",
+    "serve_lines",
+]

@@ -1,0 +1,102 @@
+"""Line-protocol request handler: parse, batch-score, isolate failures.
+
+One request is one line of whitespace-separated symptom tokens (or integer
+ids), optionally prefixed with ``k=N`` to override the server's default list
+length::
+
+    symptom_003 symptom_014
+    k=5 symptom_003 17
+
+One response is one line: the recommended herb tokens separated by spaces, or
+``error: <reason>`` — so line N of output always answers line N of input, even
+when request N was malformed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..api import Pipeline, parse_symptom_tokens
+from .stats import ServerStats
+
+__all__ = ["RecommendationHandler"]
+
+
+class RecommendationHandler:
+    """Answer batches of request lines through one pooled scoring call.
+
+    This is the ``handler`` a :class:`~repro.serving.batcher.MicroBatcher`
+    flushes into.  Per-request error isolation is enforced at two levels:
+
+    * parse errors (unknown token, bad id, empty set) turn into ``error:``
+      response lines without ever reaching the model;
+    * if the batched scoring call itself fails, every request is retried
+      individually so only the poisoned one answers with ``error:``.
+    """
+
+    def __init__(
+        self, pipeline: Pipeline, k: int = 10, stats: Optional[ServerStats] = None
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._pipeline = pipeline
+        self._default_k = k
+        self._stats = stats
+        self._herb_vocab = pipeline.herb_vocab
+        self._symptom_vocab = pipeline.symptom_vocab
+
+    # ------------------------------------------------------------------
+    # Protocol pieces
+    # ------------------------------------------------------------------
+    def parse(self, line: str) -> Tuple[Tuple[int, ...], int]:
+        """``(symptom_ids, k)`` for one request line; raises ``ValueError``."""
+        tokens = line.split()
+        k = self._default_k
+        if tokens and tokens[0].startswith("k="):
+            raw_k = tokens[0][2:]
+            if not raw_k.lstrip("-").isdigit() or int(raw_k) <= 0:
+                raise ValueError(f"k must be a positive integer, got {tokens[0]!r}")
+            k = int(raw_k)
+            tokens = tokens[1:]
+        return tuple(parse_symptom_tokens(tokens, self._symptom_vocab)), k
+
+    def format(self, recommendation) -> str:
+        """The response line: herb tokens, best first."""
+        return " ".join(self._herb_vocab.token_of(h) for h in recommendation.herb_ids)
+
+    # ------------------------------------------------------------------
+    # Batch entry point (MicroBatcher handler contract)
+    # ------------------------------------------------------------------
+    def __call__(self, lines: Sequence[str]) -> List[str]:
+        responses: List[Optional[str]] = [None] * len(lines)
+        valid: List[Tuple[int, Tuple[int, ...], int]] = []
+        for index, line in enumerate(lines):
+            try:
+                symptom_ids, k = self.parse(line)
+                valid.append((index, symptom_ids, k))
+            except ValueError as error:
+                responses[index] = self._error(str(error))
+        if valid:
+            sets = [symptom_ids for _, symptom_ids, _ in valid]
+            ks = [k for _, _, k in valid]
+            try:
+                recommendations = self._pipeline.recommend_many(sets, k=ks)
+            except Exception:  # noqa: BLE001 — retry per request to find the poison
+                recommendations = None
+            if recommendations is None:
+                for index, symptom_ids, k in valid:
+                    try:
+                        responses[index] = self.format(
+                            self._pipeline.recommend(symptom_ids, k=k)
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        responses[index] = self._error(str(error))
+            else:
+                for (index, _, _), recommendation in zip(valid, recommendations):
+                    responses[index] = self.format(recommendation)
+        return [response if response is not None else self._error("unanswered") for response in responses]
+
+    def _error(self, reason: str) -> str:
+        if self._stats is not None:
+            self._stats.record_error()
+        return f"error: {reason}"

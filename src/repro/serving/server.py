@@ -1,0 +1,199 @@
+"""Serving front-ends: a line-protocol TCP server and a stdin burst drain.
+
+Both feed the shared :class:`~repro.serving.batcher.MicroBatcher`, so
+concurrent clients (or a piped burst of stdin lines) aggregate into one
+pooling matmul per flush instead of one model call per request.
+
+Socket protocol (one request per line, one response per line, UTF-8):
+
+* ``<symptom tokens...>`` → herb tokens (or ``error: <reason>``);
+* ``stats`` → single-line counters (requests/batches/mean batch/latency);
+* blank line or EOF → the connection closes; the server keeps running.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Callable, Iterable, Optional, Tuple
+
+from .batcher import MicroBatcher
+from .stats import ServerStats
+
+__all__ = ["SocketServer", "serve_lines"]
+
+
+def serve_lines(
+    lines: Iterable[str],
+    write: Callable[[str], None],
+    batcher: MicroBatcher,
+) -> int:
+    """Drain request lines through the batcher, answering in input order.
+
+    A reader thread pulls ahead of the scorer so a piped burst queues many
+    requests at once (letting the batcher hit its size trigger), while the
+    caller's thread writes responses strictly in submission order: response N
+    always answers line N.  A blank line or EOF stops reading; everything
+    already queued is still answered.  Returns how many requests were served.
+    """
+    futures: "queue.Queue" = queue.Queue()
+
+    def pump() -> None:
+        try:
+            for raw_line in lines:
+                line = raw_line.strip()
+                if not line:
+                    break
+                try:
+                    futures.put(batcher.submit(line))
+                except RuntimeError:  # batcher closed under us — stop reading
+                    break
+        finally:
+            futures.put(None)
+
+    reader = threading.Thread(target=pump, name="stdin-reader", daemon=True)
+    reader.start()
+    answered = 0
+    while True:
+        future = futures.get()
+        if future is None:
+            break
+        try:
+            response = future.result()
+        except Exception as error:  # noqa: BLE001 — keep the response stream aligned
+            response = f"error: {error}"
+        write(response)
+        answered += 1
+    reader.join()
+    return answered
+
+
+class SocketServer:
+    """Thread-per-connection TCP front-end over a shared micro-batcher."""
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        stats: Optional[ServerStats] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._batcher = batcher
+        self._stats = stats
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._threads: set = set()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SocketServer":
+        if self._listener is not None:
+            raise RuntimeError("SocketServer is already running")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="socket-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real port."""
+        if self._listener is None:
+            raise RuntimeError("SocketServer is not running")
+        return self._listener.getsockname()[:2]
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, unblock and join every client."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections = list(self._connections)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout)
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "SocketServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:  # listener closed — shutting down
+                return
+            with self._lock:
+                if self._closed:
+                    connection.close()
+                    return
+                thread = threading.Thread(
+                    target=self._serve_client,
+                    args=(connection,),
+                    name="socket-client",
+                    daemon=True,
+                )
+                self._connections.add(connection)
+                self._threads.add(thread)
+            thread.start()
+
+    def _serve_client(self, connection: socket.socket) -> None:
+        try:
+            with connection, connection.makefile("r", encoding="utf-8") as reader:
+                for raw_line in reader:
+                    line = raw_line.strip()
+                    if not line:
+                        break
+                    if line == "stats":
+                        stats_line = (
+                            self._stats.to_line() if self._stats is not None else "no stats"
+                        )
+                        connection.sendall((stats_line + "\n").encode("utf-8"))
+                        continue
+                    try:
+                        future = self._batcher.submit(line)
+                    except RuntimeError:
+                        connection.sendall(b"error: server is shutting down\n")
+                        break
+                    try:
+                        response = future.result()
+                    except Exception as error:  # noqa: BLE001
+                        response = f"error: {error}"
+                    connection.sendall((response + "\n").encode("utf-8"))
+        except OSError:
+            pass  # client went away mid-write; nothing to clean beyond the socket
+        finally:
+            with self._lock:
+                self._connections.discard(connection)
+                self._threads.discard(threading.current_thread())

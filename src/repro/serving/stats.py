@@ -1,0 +1,126 @@
+"""Thread-safe serving counters: requests, batches, batch sizes, latencies.
+
+Every front-end (stdin, socket) and the :class:`~repro.serving.batcher.MicroBatcher`
+share one :class:`ServerStats`; the CLI reports it on shutdown and the socket
+protocol exposes it live via the ``stats`` control line.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Aggregate serving metrics, safe to record from many threads.
+
+    Latency samples are kept in a bounded window (``max_samples``) so a
+    long-lived server reports recent percentiles without unbounded memory.
+    """
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._latencies_s = deque(maxlen=max_samples)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_batch(self, size: int) -> None:
+        """One flush of ``size`` requests through the scoring call."""
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += size
+
+    def record_request(self, latency_s: float) -> None:
+        """One answered request and its queue-to-response latency."""
+        with self._lock:
+            self._requests += 1
+            self._latencies_s.append(float(latency_s))
+
+    def record_error(self) -> None:
+        """One request answered with an ``error:`` response line."""
+        with self._lock:
+            self._errors += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    @property
+    def errors(self) -> int:
+        with self._lock:
+            return self._errors
+
+    @property
+    def batches(self) -> int:
+        with self._lock:
+            return self._batches
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            return self._batched_requests / self._batches if self._batches else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        """The given latency percentile in milliseconds (0.0 with no samples)."""
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must lie in [0, 100]")
+        with self._lock:
+            if not self._latencies_s:
+                return 0.0
+            samples = np.asarray(self._latencies_s, dtype=np.float64)
+        return float(np.percentile(samples, percentile) * 1000.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A consistent point-in-time view of every metric."""
+        p50 = self.latency_ms(50)
+        p95 = self.latency_ms(95)
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "errors": self._errors,
+                "batches": self._batches,
+                "mean_batch_size": (
+                    self._batched_requests / self._batches if self._batches else 0.0
+                ),
+                "p50_ms": p50,
+                "p95_ms": p95,
+            }
+
+    def to_line(self) -> str:
+        """Single-line summary — the socket protocol's ``stats`` response."""
+        view = self.snapshot()
+        return (
+            f"requests={view['requests']:.0f} errors={view['errors']:.0f} "
+            f"batches={view['batches']:.0f} mean_batch={view['mean_batch_size']:.2f} "
+            f"p50_ms={view['p50_ms']:.3f} p95_ms={view['p95_ms']:.3f}"
+        )
+
+    def to_text(self) -> str:
+        """Multi-line summary, printed by the CLI on shutdown."""
+        view = self.snapshot()
+        return "\n".join(
+            [
+                "serving stats:",
+                f"  requests         {view['requests']:.0f} ({view['errors']:.0f} errors)",
+                f"  batches          {view['batches']:.0f}",
+                f"  mean batch size  {view['mean_batch_size']:.2f}",
+                f"  latency p50      {view['p50_ms']:.3f} ms",
+                f"  latency p95      {view['p95_ms']:.3f} ms",
+            ]
+        )

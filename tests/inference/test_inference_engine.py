@@ -161,6 +161,45 @@ class TestInferenceEngine:
         batch = engine.recommend_batch([(1, 4)], k=3)[0]
         assert single.herb_ids == batch.herb_ids
 
+    def test_scores_bit_identical_across_batchings(self, tiny_split, model):
+        """The fixed-block scoring path: batchmates cannot change a row.
+
+        This is the determinism the micro-batched serving layer relies on —
+        without it, gemv-vs-gemm summation-order differences flip near-tied
+        top-k orderings between batched and sequential requests.
+        """
+        _, test = tiny_split
+        sets = test.symptom_sets()
+        engine = InferenceEngine(model)
+        batched = engine.score_batch(sets)
+        singles = np.vstack([engine.score_batch([s]) for s in sets])
+        np.testing.assert_array_equal(batched, singles)
+        odd_chunks = np.vstack(
+            [engine.score_batch(sets[start : start + 7]) for start in range(0, len(sets), 7)]
+        )
+        np.testing.assert_array_equal(batched, odd_chunks)
+
+    def test_recommend_batch_bit_identical_to_sequential(self, tiny_split, model):
+        _, test = tiny_split
+        sets = test.symptom_sets()[:20]
+        engine = InferenceEngine(model)
+        assert engine.recommend_batch(sets, k=5) == [engine.recommend(s, k=5) for s in sets]
+
+    def test_recommend_batch_per_request_k(self, model):
+        engine = InferenceEngine(model)
+        sets = [(0, 1), (2,), (1, 3)]
+        mixed = engine.recommend_batch(sets, k=[2, 5, 3])
+        assert [len(rec) for rec in mixed] == [2, 5, 3]
+        for rec, (symptom_set, k) in zip(mixed, [(sets[0], 2), (sets[1], 5), (sets[2], 3)]):
+            assert rec == engine.recommend(symptom_set, k=k)
+
+    def test_recommend_batch_k_validation(self, model):
+        engine = InferenceEngine(model)
+        with pytest.raises(ValueError, match="k values"):
+            engine.recommend_batch([(0,), (1,)], k=[3])
+        with pytest.raises(ValueError, match="positive"):
+            engine.recommend_batch([(0,), (1,)], k=[3, 0])
+
     def test_k_clamped_to_vocab(self, model):
         rec = InferenceEngine(model).recommend((0,), k=10_000)
         assert len(rec) == model.num_herbs

@@ -1,0 +1,224 @@
+"""Deterministic MicroBatcher tests: injected fake clock, manual drive, no sleeps.
+
+The batcher is constructed with ``start=False`` so nothing runs in the
+background; flush timing is evaluated only when ``poll()`` is called, against
+a clock the test advances explicitly.  A final class exercises the threaded
+worker for real (futures block, still no ``sleep`` calls in the tests).
+"""
+
+import threading
+
+import pytest
+
+from repro.serving import MicroBatcher, ServerStats
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class RecordingHandler:
+    """Echo handler that remembers every batch it was flushed."""
+
+    def __init__(self) -> None:
+        self.batches = []
+
+    def __call__(self, payloads):
+        self.batches.append(list(payloads))
+        return [f"answer:{payload}" for payload in payloads]
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def handler():
+    return RecordingHandler()
+
+
+def manual_batcher(handler, clock, **kwargs):
+    kwargs.setdefault("max_batch_size", 3)
+    kwargs.setdefault("max_wait_ms", 100.0)
+    return MicroBatcher(handler, clock=clock, start=False, **kwargs)
+
+
+class TestSizeTrigger:
+    def test_flushes_when_batch_fills(self, handler, clock):
+        batcher = manual_batcher(handler, clock)
+        futures = [batcher.submit(f"r{i}") for i in range(3)]
+        assert batcher.poll() == 3
+        assert handler.batches == [["r0", "r1", "r2"]]
+        assert [f.result(timeout=0) for f in futures] == ["answer:r0", "answer:r1", "answer:r2"]
+
+    def test_no_flush_below_size_before_deadline(self, handler, clock):
+        batcher = manual_batcher(handler, clock)
+        batcher.submit("r0")
+        batcher.submit("r1")
+        assert batcher.poll() == 0
+        assert handler.batches == []
+        assert batcher.pending_count() == 2
+
+    def test_oversized_burst_splits_into_max_size_batches(self, handler, clock):
+        batcher = manual_batcher(handler, clock, max_batch_size=3)
+        futures = [batcher.submit(f"r{i}") for i in range(7)]
+        clock.advance(1.0)  # make the 7 % 3 tail ready too
+        assert batcher.poll() == 7
+        assert [len(batch) for batch in handler.batches] == [3, 3, 1]
+        assert all(f.done() for f in futures)
+
+
+class TestTimeoutTrigger:
+    def test_flushes_partial_batch_at_deadline(self, handler, clock):
+        batcher = manual_batcher(handler, clock, max_wait_ms=100.0)
+        futures = [batcher.submit("r0"), batcher.submit("r1")]
+        clock.advance(0.099)
+        assert batcher.poll() == 0, "just under the deadline must not flush"
+        clock.advance(0.001)
+        assert batcher.poll() == 2
+        assert handler.batches == [["r0", "r1"]]
+        assert [f.result(timeout=0) for f in futures] == ["answer:r0", "answer:r1"]
+
+    def test_deadline_measured_from_oldest_request(self, handler, clock):
+        batcher = manual_batcher(handler, clock, max_wait_ms=100.0)
+        batcher.submit("old")
+        clock.advance(0.09)
+        batcher.submit("new")
+        clock.advance(0.011)  # old past its 100ms deadline, new only 11ms in
+        assert batcher.poll() == 2, "the partial batch flushes with the oldest request"
+
+    def test_zero_wait_flushes_any_pending(self, handler, clock):
+        batcher = manual_batcher(handler, clock, max_wait_ms=0.0)
+        batcher.submit("r0")
+        assert batcher.poll() == 1
+
+
+class TestErrorHandling:
+    def test_handler_exception_fails_batch_without_killing_batcher(self, clock):
+        calls = {"n": 0}
+
+        def flaky(payloads):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("scoring exploded")
+            return list(payloads)
+
+        batcher = MicroBatcher(flaky, max_batch_size=2, clock=clock, start=False)
+        poisoned = [batcher.submit("a"), batcher.submit("b")]
+        batcher.poll()
+        for future in poisoned:
+            with pytest.raises(RuntimeError, match="scoring exploded"):
+                future.result(timeout=0)
+        healthy = [batcher.submit("c"), batcher.submit("d")]
+        batcher.poll()
+        assert [f.result(timeout=0) for f in healthy] == ["c", "d"]
+
+    def test_wrong_result_count_is_an_error(self, clock):
+        batcher = MicroBatcher(lambda payloads: ["only one"], max_batch_size=2, clock=clock, start=False)
+        future = batcher.submit("a")
+        batcher.submit("b")
+        batcher.poll()
+        with pytest.raises(RuntimeError, match="2 requests"):
+            future.result(timeout=0)
+
+
+class TestShutdown:
+    def test_close_drains_pending_queue(self, handler, clock):
+        batcher = manual_batcher(handler, clock)
+        futures = [batcher.submit("r0"), batcher.submit("r1")]
+        batcher.close()  # neither size nor deadline reached — drain anyway
+        assert handler.batches == [["r0", "r1"]]
+        assert [f.result(timeout=0) for f in futures] == ["answer:r0", "answer:r1"]
+
+    def test_close_without_drain_fails_pending_futures(self, handler, clock):
+        batcher = manual_batcher(handler, clock)
+        future = batcher.submit("r0")
+        batcher.close(drain=False)
+        with pytest.raises(RuntimeError, match="closed"):
+            future.result(timeout=0)
+        assert handler.batches == []
+
+    def test_submit_after_close_rejected(self, handler, clock):
+        batcher = manual_batcher(handler, clock)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit("late")
+
+    def test_close_is_idempotent(self, handler, clock):
+        batcher = manual_batcher(handler, clock)
+        batcher.close()
+        batcher.close()
+
+
+class TestValidationAndStats:
+    def test_rejects_bad_parameters(self, handler, clock):
+        with pytest.raises(ValueError):
+            MicroBatcher(handler, max_batch_size=0, start=False)
+        with pytest.raises(ValueError):
+            MicroBatcher(handler, max_wait_ms=-1.0, start=False)
+
+    def test_records_batches_and_latencies(self, handler, clock):
+        stats = ServerStats()
+        batcher = manual_batcher(handler, clock, max_batch_size=2, stats=stats)
+        batcher.submit("r0")
+        clock.advance(0.05)
+        batcher.submit("r1")
+        clock.advance(0.05)  # r0 waited 100ms, r1 50ms
+        batcher.poll()
+        assert stats.requests == 2
+        assert stats.batches == 1
+        assert stats.mean_batch_size == 2.0
+        assert stats.latency_ms(100) == pytest.approx(100.0)
+        assert stats.latency_ms(0) == pytest.approx(50.0)
+
+    def test_stats_empty_snapshot(self):
+        stats = ServerStats()
+        assert stats.latency_ms(95) == 0.0
+        assert stats.mean_batch_size == 0.0
+        assert stats.to_line().startswith("requests=0 ")
+        assert "requests" in stats.to_text()
+
+
+class TestThreadedMode:
+    """The worker thread path: real clock, futures synchronise (no sleeps)."""
+
+    def test_concurrent_producers_all_answered(self, handler):
+        with MicroBatcher(handler, max_batch_size=8, max_wait_ms=5.0) as batcher:
+            results = {}
+
+            def producer(name):
+                results[name] = batcher.submit(name).result(timeout=10)
+
+            threads = [
+                threading.Thread(target=producer, args=(f"p{i}",)) for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10)
+        assert results == {f"p{i}": f"answer:p{i}" for i in range(16)}
+        assert sum(len(batch) for batch in handler.batches) == 16
+
+    def test_start_twice_rejected(self, handler):
+        batcher = MicroBatcher(handler, max_wait_ms=1.0)
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                batcher.start()
+        finally:
+            batcher.close()
+
+    def test_threaded_close_drains(self, handler):
+        batcher = MicroBatcher(handler, max_batch_size=100, max_wait_ms=60_000.0)
+        future = batcher.submit("queued")
+        batcher.close()  # deadline far away — close must still answer it
+        assert future.result(timeout=0) == "answer:queued"

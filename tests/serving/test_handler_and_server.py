@@ -1,0 +1,198 @@
+"""Serving stack tests: protocol handler isolation and socket end-to-end.
+
+The socket test drives N concurrent client threads against a real
+:class:`~repro.serving.SocketServer` and asserts every response is
+bit-identical to the sequential ``pipeline.recommend`` baseline — the
+determinism guarantee the fixed-block scoring path provides — and that burst
+load actually aggregated (``mean_batch_size > 1``).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.api import Pipeline
+from repro.experiments.datasets import get_profile
+from repro.serving import MicroBatcher, RecommendationHandler, ServerStats, SocketServer
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return Pipeline(
+        "SMGCN", scale="smoke", trainer_config=get_profile("smoke").trainer_config(epochs=1)
+    ).fit()
+
+
+def sequential_answer(pipeline, line, k=10):
+    """The single-request baseline: what `repro predict` would print."""
+    return " ".join(pipeline.decode_herbs(pipeline.recommend(line, k=k)))
+
+
+class TestRecommendationHandler:
+    def test_batch_matches_sequential(self, pipeline):
+        handler = RecommendationHandler(pipeline, k=5)
+        lines = ["0 3", "1 2 4", "2", "0 1 2 3"]
+        assert handler(lines) == [sequential_answer(pipeline, line, k=5) for line in lines]
+
+    def test_bad_token_isolated_from_batchmates(self, pipeline):
+        handler = RecommendationHandler(pipeline, k=5)
+        responses = handler(["0 3", "no_such_symptom", "1 2"])
+        assert responses[0] == sequential_answer(pipeline, "0 3", k=5)
+        assert responses[1] == "error: unknown symptom token 'no_such_symptom'"
+        assert responses[2] == sequential_answer(pipeline, "1 2", k=5)
+
+    def test_k_prefix_overrides_default(self, pipeline):
+        handler = RecommendationHandler(pipeline, k=10)
+        responses = handler(["k=2 0 3", "0 3"])
+        assert responses[0] == sequential_answer(pipeline, "0 3", k=2)
+        assert len(responses[0].split()) == 2
+        assert len(responses[1].split()) == 10
+
+    def test_bad_k_prefix_is_an_error_line(self, pipeline):
+        handler = RecommendationHandler(pipeline, k=5)
+        for bad in ("k=0 0 3", "k=-2 0 3", "k=abc 0 3"):
+            assert handler([bad])[0].startswith("error: k must be a positive integer")
+
+    def test_empty_line_is_an_error_line(self, pipeline):
+        handler = RecommendationHandler(pipeline, k=5)
+        assert handler(["   "])[0] == "error: no symptoms given"
+
+    def test_scoring_failure_retried_per_request(self, pipeline, monkeypatch):
+        handler = RecommendationHandler(pipeline, k=5)
+        expected = {line: sequential_answer(pipeline, line, k=5) for line in ("0 3", "1 2")}
+        real_recommend_many = pipeline.recommend_many
+
+        def poisoned_many(sets, k):
+            if len(sets) > 1:  # the batched call dies; per-request retries survive
+                raise RuntimeError("batched scoring exploded")
+            return real_recommend_many(sets, k=k)
+
+        monkeypatch.setattr(pipeline, "recommend_many", poisoned_many)
+        responses = handler(["0 3", "1 2"])
+        assert responses == [expected["0 3"], expected["1 2"]]
+
+    def test_poisoned_request_isolated_in_scoring_fallback(self, pipeline, monkeypatch):
+        """Only the request whose scoring fails answers with ``error:``."""
+        handler = RecommendationHandler(pipeline, k=5)
+        expected = sequential_answer(pipeline, "0 3", k=5)
+        real_recommend_many = pipeline.recommend_many
+
+        def poisoned_many(sets, k):
+            if any(set(s) == {1, 2} for s in sets):
+                raise RuntimeError("poisoned request")
+            return real_recommend_many(sets, k=k)
+
+        monkeypatch.setattr(pipeline, "recommend_many", poisoned_many)
+        responses = handler(["0 3", "1 2"])
+        assert responses[0] == expected
+        assert responses[1] == "error: poisoned request"
+
+    def test_errors_recorded_in_stats(self, pipeline):
+        stats = ServerStats()
+        handler = RecommendationHandler(pipeline, k=5, stats=stats)
+        handler(["0 3", "bogus_token"])
+        assert stats.errors == 1
+
+    def test_rejects_non_positive_default_k(self, pipeline):
+        with pytest.raises(ValueError):
+            RecommendationHandler(pipeline, k=0)
+
+
+class TestSocketServer:
+    NUM_CLIENTS = 8
+    ROUNDS = 3
+
+    @pytest.fixture()
+    def serving_stack(self, pipeline):
+        stats = ServerStats()
+        handler = RecommendationHandler(pipeline, k=5, stats=stats)
+        batcher = MicroBatcher(handler, max_batch_size=64, max_wait_ms=25.0, stats=stats)
+        server = SocketServer(batcher, stats=stats).start()
+        yield server, stats
+        server.stop()
+        batcher.close()
+
+    def _client(self, address, lines, out, index, barrier):
+        with socket.create_connection(address, timeout=30) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            answers = []
+            for line in lines:
+                barrier.wait(timeout=30)  # burst: every client fires together
+                connection.sendall((line + "\n").encode("utf-8"))
+                answers.append(reader.readline().strip())
+            out[index] = answers
+
+    def test_concurrent_clients_bit_identical_to_sequential(self, pipeline, serving_stack):
+        server, stats = serving_stack
+        queries = ["0 3", "1 2", "2 4 5", "0 1 2", "3", "1 4", "0 2 5", "2 3 4"]
+        plans = [
+            [queries[(client + round_) % len(queries)] for round_ in range(self.ROUNDS)]
+            for client in range(self.NUM_CLIENTS)
+        ]
+        barrier = threading.Barrier(self.NUM_CLIENTS)
+        responses = [None] * self.NUM_CLIENTS
+        threads = [
+            threading.Thread(
+                target=self._client,
+                args=(server.address, plans[i], responses, i, barrier),
+            )
+            for i in range(self.NUM_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+
+        expected = {query: sequential_answer(pipeline, query, k=5) for query in queries}
+        for plan, answers in zip(plans, responses):
+            assert answers is not None, "a client thread never finished"
+            assert answers == [expected[query] for query in plan]
+        assert stats.requests == self.NUM_CLIENTS * self.ROUNDS
+        assert stats.mean_batch_size > 1, "burst load must actually aggregate"
+
+    def test_stats_control_line(self, serving_stack):
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"0 3\nstats\n")
+            assert reader.readline().strip().startswith("herb_")
+            stats_line = reader.readline().strip()
+        assert stats_line.startswith("requests=1 ")
+        assert "mean_batch=" in stats_line
+
+    def test_error_response_keeps_connection_alive(self, serving_stack):
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"totally_bogus\n0 3\n")
+            assert reader.readline().strip().startswith("error: unknown symptom token")
+            assert reader.readline().strip().startswith("herb_")
+
+    def test_stop_refuses_new_connections(self, pipeline):
+        stats = ServerStats()
+        batcher = MicroBatcher(RecommendationHandler(pipeline, k=5), max_wait_ms=1.0)
+        server = SocketServer(batcher).start()
+        address = server.address
+        server.stop()
+        batcher.close()
+        # Either the connect is refused outright, or a race with the kernel's
+        # listen backlog lets it establish — in which case it must never be
+        # served (EOF instead of a response line).
+        try:
+            with socket.create_connection(address, timeout=2) as connection:
+                connection.sendall(b"0 3\n")
+                assert connection.makefile("r", encoding="utf-8").readline() == ""
+        except OSError:
+            pass
+
+    def test_blank_line_closes_connection_but_not_server(self, serving_stack):
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"\n")
+            assert reader.readline() == ""  # EOF: our side was closed
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"0 3\n")
+            assert reader.readline().strip().startswith("herb_")

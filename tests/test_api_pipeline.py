@@ -83,6 +83,40 @@ class TestRecommend:
         assert scores.shape == (1, pipeline.model.num_herbs)
 
 
+class TestRecommendMany:
+    def test_bit_identical_to_sequential_recommend(self, fitted):
+        queries = ["0 3", [1, 2], "2 4 5", [0], "1 3 4"]
+        assert fitted.recommend_many(queries, k=4) == [
+            fitted.recommend(query, k=4) for query in queries
+        ]
+
+    def test_per_query_k(self, fitted):
+        many = fitted.recommend_many(["0 3", "1 2"], k=[2, 5])
+        assert [len(rec) for rec in many] == [2, 5]
+        assert many[0] == fitted.recommend("0 3", k=2)
+        assert many[1] == fitted.recommend("1 2", k=5)
+
+    def test_empty_batch(self, fitted):
+        assert fitted.recommend_many([], k=3) == []
+
+    def test_validation(self, fitted):
+        with pytest.raises(ValueError, match="k values"):
+            fitted.recommend_many(["0", "1"], k=[3])
+        with pytest.raises(ValueError, match="positive"):
+            fitted.recommend_many(["0"], k=[0])
+        with pytest.raises(ValueError, match="unknown symptom token"):
+            fitted.recommend_many(["0", "bogus"], k=3)
+
+    def test_non_neural_model_batches_without_engine(self):
+        pipeline = Pipeline(
+            "HC-KGETM", scale="smoke", num_topics=4, gibbs_iterations=1
+        ).fit()
+        queries = ["0 3", "1 2"]
+        many = pipeline.recommend_many(queries, k=[4, 2])
+        assert [len(rec) for rec in many] == [4, 2]
+        assert many[0] == pipeline.recommend("0 3", k=4)
+
+
 class TestParseSymptomTokens:
     def test_mixed(self):
         train, _ = experiment_split("smoke")

@@ -219,6 +219,30 @@ class TestCheckpointServing:
         assert len(herb_lines) == 1
         assert str(checkpoint) in captured.err
 
+    def test_serve_stdin_burst_preserves_input_ordering(self, checkpoint, capsys, monkeypatch):
+        """Piped multi-line input: response N answers request line N, always."""
+        import io
+
+        from repro.api import Pipeline
+
+        requests = ["0 3", "1 2", "not_a_symptom", "4", "k=2 0 1", "2 3"]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        code = main(["serve", "--checkpoint", str(checkpoint), "--k", "3"])
+        assert code == 0
+        captured = capsys.readouterr()
+        responses = captured.out.splitlines()
+        assert len(responses) == len(requests)
+        pipeline = Pipeline.load(checkpoint)
+        for request, response in zip(requests, responses):
+            if request == "not_a_symptom":
+                assert response == "error: unknown symptom token 'not_a_symptom'"
+            else:
+                k = 2 if request.startswith("k=") else 3
+                query = request[len("k=2 "):] if request.startswith("k=") else request
+                expected = pipeline.recommend(query, k=k)
+                assert response == " ".join(pipeline.decode_herbs(expected))
+        assert "serving stats:" in captured.err
+
     def test_predict_missing_checkpoint_errors_cleanly(self, capsys):
         code = main(["predict", "--checkpoint", "/nonexistent/x.npz", "--symptoms", "0"])
         assert code == 2
@@ -284,8 +308,27 @@ class TestPredictServe:
         code = main(["serve", "--scale", "smoke", "--k", "3", "--epochs", "1"])
         assert code == 0
         captured = capsys.readouterr()
-        herb_lines = [line for line in captured.out.splitlines() if line.startswith("herb_")]
-        assert len(herb_lines) == 2  # the bad line is skipped, the blank line quits
-        assert all(len(line.split()) == 3 for line in herb_lines)
+        responses = captured.out.splitlines()
+        # one response line per request line, in input order: a bad request
+        # answers with an error *on stdout* so pipe clients stay in sync
+        assert len(responses) == 3
+        assert responses[0].startswith("herb_") and len(responses[0].split()) == 3
+        assert responses[1] == "error: unknown symptom token 'bad_token'"
+        assert responses[2].startswith("herb_") and len(responses[2].split()) == 3
         assert "ready:" in captured.err
-        assert "unknown symptom token" in captured.err
+        assert "serving stats:" in captured.err
+
+    def test_serve_batching_flags_validated(self, capsys):
+        code = main(["serve", "--scale", "smoke", "--max-batch", "0"])
+        assert code == 2
+        assert "--max-batch" in capsys.readouterr().err
+        code = main(["serve", "--scale", "smoke", "--max-wait-ms", "-1"])
+        assert code == 2
+        assert "--max-wait-ms" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None
+        assert args.host == "127.0.0.1"
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 5.0
