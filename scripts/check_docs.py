@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Keep the documentation true: links must resolve, code fences must run.
+
+Checks two things over ``README.md`` and ``docs/*.md``:
+
+* **Links** — every relative markdown link points at an existing file, and
+  every ``#anchor`` matches a heading of its target document.
+* **Fences** — ``python`` code fences in ``docs/*.md`` are executed (each
+  file's fences concatenated into one script, run from a scratch directory
+  with ``PYTHONPATH=src``), and every ``bash`` fence everywhere is
+  syntax-checked with ``bash -n``.  README python fences are illustrative
+  (they reference free variables) and are not executed.
+
+Put ``<!-- check-docs: skip -->`` on the line directly above a fence to
+exclude it from execution/syntax checks.
+
+Usage::
+
+    python scripts/check_docs.py              # links + fences (the CI docs job)
+    python scripts/check_docs.py --links-only # fast subset (tier-1 tests)
+    python scripts/check_docs.py --list       # show what would be checked
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Set
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = sorted((ROOT / "docs").glob("*.md"))
+ALL_DOCS = [ROOT / "README.md", *DOCS]
+SKIP_MARKER = "<!-- check-docs: skip -->"
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"(#{1,6})\s+(.*)")
+
+
+@dataclass
+class Fence:
+    path: Path
+    info: str  # the fence's language tag, lowercased
+    body: str
+    line: int
+    skipped: bool
+
+
+def parse_fences(path: Path) -> List[Fence]:
+    fences: List[Fence] = []
+    in_fence = False
+    skip_next = False
+    info, body, start, fence_skip = "", [], 0, False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        stripped = line.strip()
+        if in_fence:
+            if stripped == "```":
+                fences.append(Fence(path, info, "\n".join(body), start, fence_skip))
+                in_fence = False
+            else:
+                body.append(line)
+        elif stripped.startswith("```"):
+            in_fence = True
+            info = stripped[3:].strip().lower()
+            body = []
+            start = lineno
+            fence_skip = skip_next
+            skip_next = False
+        else:
+            skip_next = stripped == SKIP_MARKER
+    return fences
+
+
+def _heading_slugs(path: Path) -> Set[str]:
+    """GitHub-style anchor slugs for every heading outside code fences."""
+    slugs: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            title = match.group(2).strip()
+            slug = re.sub(r"[^\w\- ]", "", title.lower()).strip().replace(" ", "-")
+            slugs.add(slug)
+    return slugs
+
+
+def check_links(paths: List[Path]) -> List[str]:
+    errors = []
+    fence_spans = {}  # path -> set of line numbers inside fences
+    for path in paths:
+        in_fence = False
+        spans = set()
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if line.strip().startswith("```"):
+                in_fence = not in_fence
+                spans.add(lineno)
+            elif in_fence:
+                spans.add(lineno)
+        fence_spans[path] = spans
+    for path in paths:
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if lineno in fence_spans[path]:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                    continue
+                base, _, anchor = target.partition("#")
+                anchor_file = path
+                if base:
+                    anchor_file = (path.parent / base).resolve()
+                    if not anchor_file.exists():
+                        errors.append(f"{path.relative_to(ROOT)}:{lineno}: broken link {target!r}")
+                        continue
+                if anchor and anchor_file.suffix == ".md":
+                    if anchor not in _heading_slugs(anchor_file):
+                        errors.append(
+                            f"{path.relative_to(ROOT)}:{lineno}: link {target!r} has no "
+                            f"matching heading in {anchor_file.name}"
+                        )
+    return errors
+
+
+def run_python_fences(paths: List[Path]) -> List[str]:
+    """Execute each file's python fences as one script, from a scratch dir."""
+    errors = []
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    for path in paths:
+        fences = [
+            fence
+            for fence in parse_fences(path)
+            if fence.info == "python" and not fence.skipped
+        ]
+        if not fences:
+            continue
+        script = "\n\n".join(fence.body for fence in fences)
+        with tempfile.TemporaryDirectory(prefix="check-docs-") as scratch:
+            result = subprocess.run(
+                [sys.executable, "-"],
+                input=script,
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=scratch,
+                timeout=600,
+            )
+        if result.returncode != 0:
+            errors.append(
+                f"{path.relative_to(ROOT)}: python fences failed "
+                f"(lines {', '.join(str(f.line) for f in fences)}):\n{result.stderr.strip()}"
+            )
+    return errors
+
+
+def check_bash_fences(paths: List[Path]) -> List[str]:
+    errors = []
+    for path in paths:
+        for fence in parse_fences(path):
+            if fence.info != "bash" or fence.skipped:
+                continue
+            result = subprocess.run(
+                ["bash", "-n"], input=fence.body, capture_output=True, text=True
+            )
+            if result.returncode != 0:
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{fence.line}: bash fence does not parse:\n"
+                    f"{result.stderr.strip()}"
+                )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links-only", action="store_true", help="skip fence execution")
+    parser.add_argument("--list", action="store_true", help="list fences and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for path in ALL_DOCS:
+            for fence in parse_fences(path):
+                flag = " (skip)" if fence.skipped else ""
+                print(f"{path.relative_to(ROOT)}:{fence.line}: {fence.info or '<plain>'}{flag}")
+        return 0
+
+    errors = check_links(ALL_DOCS)
+    if not args.links_only:
+        errors += check_bash_fences(ALL_DOCS)
+        errors += run_python_fences(DOCS)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = "links" if args.links_only else "links, bash fences, python fences"
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s) ({checked})", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({checked}; {len(ALL_DOCS)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

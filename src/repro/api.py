@@ -76,6 +76,9 @@ class Pipeline:
         seed: int = 0,
         trainer_config: Optional[TrainerConfig] = None,
         batch_size: int = 1024,
+        num_shards: int = 1,
+        backend=None,
+        num_workers: Optional[int] = None,
         **model_overrides,
     ) -> None:
         self._entry = MODEL_REGISTRY.get(model)  # fail fast on unknown names
@@ -84,6 +87,9 @@ class Pipeline:
         self.seed = seed
         self.trainer_config = trainer_config
         self.batch_size = batch_size
+        self.num_shards = num_shards
+        self.backend = backend
+        self.num_workers = num_workers
         self.model_overrides = dict(model_overrides)
         self._model = None
         self._history = None
@@ -134,6 +140,8 @@ class Pipeline:
             seed=self.seed,
             **self.model_overrides,
         )
+        if self._engine is not None:  # release backend workers before dropping
+            self._engine.close()
         self._engine = None
         return self
 
@@ -147,7 +155,12 @@ class Pipeline:
     # ------------------------------------------------------------------
     @property
     def engine(self) -> InferenceEngine:
-        """A warmed-up inference engine over the fitted neural model."""
+        """A warmed-up inference engine over the fitted neural model.
+
+        Honors the pipeline's ``num_shards``/``backend``/``num_workers``
+        knobs, so sharded scoring and pooled-backend execution flow through
+        every ``recommend``/``score`` call (and the serving layer above).
+        """
         model = self._require_model()
         if not isinstance(model, GraphHerbRecommender):
             raise TypeError(
@@ -155,7 +168,13 @@ class Pipeline:
                 "call recommend()/score() directly instead"
             )
         if self._engine is None:
-            self._engine = InferenceEngine(model, batch_size=self.batch_size).warm_up()
+            self._engine = InferenceEngine(
+                model,
+                batch_size=self.batch_size,
+                num_shards=self.num_shards,
+                backend=self.backend,
+                num_workers=self.num_workers,
+            ).warm_up()
         return self._engine
 
     def score(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
@@ -227,7 +246,14 @@ class Pipeline:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path], scale: Optional[str] = None) -> "Pipeline":
+    def load(
+        cls,
+        path: Union[str, Path],
+        scale: Optional[str] = None,
+        num_shards: int = 1,
+        backend=None,
+        num_workers: Optional[int] = None,
+    ) -> "Pipeline":
         """Rebuild a pipeline from a checkpoint in milliseconds — no training.
 
         ``scale`` defaults to the scale recorded in the checkpoint header; the
@@ -235,7 +261,9 @@ class Pipeline:
         the target corpus.  The bundle is opened once — the header resolves
         the corpus in-flight.  The loaded pipeline carries the checkpoint's
         seed and config as its own, so a later ``fit()`` retrains the same
-        architecture rather than a default one.
+        architecture rather than a default one.  ``num_shards``/``backend``/
+        ``num_workers`` configure the serving engine exactly as in the
+        constructor — sharding is a serving knob, not a checkpoint property.
         """
         import dataclasses
 
@@ -254,6 +282,14 @@ class Pipeline:
             if field.init
         }
         seed = overrides.pop("seed", 0)
-        pipeline = cls(header.model_name, scale=resolved["scale"], seed=seed, **overrides)
+        pipeline = cls(
+            header.model_name,
+            scale=resolved["scale"],
+            seed=seed,
+            num_shards=num_shards,
+            backend=backend,
+            num_workers=num_workers,
+            **overrides,
+        )
         pipeline._model = model
         return pipeline

@@ -22,6 +22,11 @@ instead of retraining, otherwise they train first on the chosen scale.
 by default (response N answers input line N, including ``error:`` lines), or
 TCP connections with ``--port`` — through one pooling matmul per flush
 (``--max-batch``/``--max-wait-ms``), reporting stats on shutdown.
+
+Both ``predict`` and ``serve`` take ``--shards``/``--backend``/``--workers``
+to split the herb-embedding matrix into column shards scored through a
+pluggable compute backend (serial ``numpy`` or a ``threads`` worker pool);
+answers are bit-identical whatever the sharding — see docs/SERVING.md.
 """
 
 from __future__ import annotations
@@ -40,10 +45,30 @@ __all__ = ["build_parser", "main"]
 _SCALES = ("smoke", "default")
 
 
+_EPILOG = """\
+examples:
+  repro list                               # registered experiments
+  repro models                             # model zoo: name, config, params
+  repro run table4 --scale smoke           # reproduce one paper table
+  repro train --model SMGCN --scale smoke --checkpoint smgcn.npz --evaluate
+  repro predict --checkpoint smgcn.npz --symptoms "symptom_003 17" --k 5
+  echo "symptom_003 17" | repro serve --checkpoint smgcn.npz --k 10
+  repro serve --checkpoint smgcn.npz --port 7654 --max-batch 64 --max-wait-ms 5
+  repro serve --checkpoint smgcn.npz --shards 4 --backend threads --workers 4
+
+`train --checkpoint` persists trained weights so predict/serve start in
+milliseconds; `--shards`/`--backend` split herb scoring into column shards
+on a pluggable compute backend (bit-identical answers either way).
+See docs/ARCHITECTURE.md and docs/SERVING.md for the full picture.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the tables and figures of the SMGCN paper (ICDE 2020).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -151,6 +176,25 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--epochs", type=int, default=None, help="override the profile's training epochs"
     )
     parser.add_argument("--seed", type=int, default=None, help="model initialisation seed")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the herb embeddings into this many column shards for "
+        "scoring/top-k; answers stay bit-identical (default: 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend for shard scoring: 'numpy' (serial BLAS, the "
+        "default) or 'threads' (worker pool), or any registered backend name",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --backend threads (default: the CPU count)",
+    )
 
 
 def _render(result) -> str:
@@ -190,6 +234,9 @@ def _build_pipeline(args):
         scale=scale,
         seed=args.seed if args.seed is not None else 0,
         trainer_config=_trainer_config(scale, args.epochs),
+        num_shards=args.shards,
+        backend=args.backend,
+        num_workers=args.workers,
     ).fit()
 
 
@@ -205,6 +252,32 @@ def _format_recommendation(recommendation, herb_vocab) -> str:
 def _check_k(args) -> Optional[int]:
     if args.k <= 0:
         print("error: --k must be a positive integer", file=sys.stderr)
+        return 2
+    return _check_sharding(args)
+
+
+def _check_sharding(args) -> Optional[int]:
+    """Validate --shards/--backend/--workers before paying for model setup."""
+    from .inference.backends import available_backends
+
+    if args.shards <= 0:
+        print("error: --shards must be a positive integer", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers <= 0:
+        print("error: --workers must be a positive integer", file=sys.stderr)
+        return 2
+    if args.backend is not None and args.backend not in available_backends():
+        print(
+            f"error: unknown backend {args.backend!r}; "
+            f"available: {', '.join(available_backends())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards == 1 and (args.workers is not None or args.backend not in (None, "numpy")):
+        print(
+            "error: --backend/--workers only take effect with --shards >= 2",
+            file=sys.stderr,
+        )
         return 2
     return None
 
@@ -327,7 +400,13 @@ def _load_or_none(args):
         raise ValueError("--epochs/--seed only apply when training; drop them with --checkpoint")
     from .api import Pipeline
 
-    pipeline = Pipeline.load(args.checkpoint, scale=args.scale)
+    pipeline = Pipeline.load(
+        args.checkpoint,
+        scale=args.scale,
+        num_shards=args.shards,
+        backend=args.backend,
+        num_workers=args.workers,
+    )
     if args.model is not None and args.model != pipeline.model_name:
         raise ValueError(
             f"checkpoint {args.checkpoint} holds {pipeline.model_name!r}, not {args.model!r}"

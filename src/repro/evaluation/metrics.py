@@ -22,16 +22,21 @@ __all__ = [
 
 
 def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the top-``k`` entries per row, ordered by decreasing score."""
+    """Indices of the top-``k`` entries per row, ordered by decreasing score.
+
+    Ties are broken by ascending index (a stable sort on the negated scores),
+    so the ranking is a deterministic function of the score values alone.
+    That canonical order is what lets the sharded top-k path
+    (:func:`repro.inference.sharding.merge_topk`) reproduce this function
+    exactly from per-shard candidate lists: every prefix of the full ranking
+    is well defined even across tied scores at shard boundaries.
+    """
     if scores.ndim != 2:
         raise ValueError("scores must be a 2-D matrix")
     if k <= 0:
         raise ValueError("k must be positive")
     k = min(k, scores.shape[1])
-    partition = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-    row_indices = np.arange(scores.shape[0])[:, None]
-    order = np.argsort(-scores[row_indices, partition], axis=1)
-    return partition[row_indices, order]
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
 
 
 def _truth_matrix(truth_sets: Sequence[Sequence[int]], num_items: int) -> np.ndarray:

@@ -128,17 +128,29 @@ def build_inference_engine(
     trainer_config: Optional[TrainerConfig] = None,
     batch_size: int = 1024,
     seed: int = 0,
+    num_shards: int = 1,
+    backend=None,
+    num_workers: Optional[int] = None,
     **model_overrides,
 ) -> InferenceEngine:
     """Train a neural model on the profile's split and wrap it for serving.
 
     The returned engine is warmed up: the full-graph propagation has already
     run, so the first request is as fast as every other one.
+    ``num_shards``/``backend``/``num_workers`` select column-sharded scoring
+    and its compute backend (see :mod:`repro.inference.backends`); answers
+    are bit-identical across those settings.
     """
     model, _ = train_neural_model(
         name, scale=scale, trainer_config=trainer_config, seed=seed, **model_overrides
     )
-    return InferenceEngine(model, batch_size=batch_size).warm_up()
+    return InferenceEngine(
+        model,
+        batch_size=batch_size,
+        num_shards=num_shards,
+        backend=backend,
+        num_workers=num_workers,
+    ).warm_up()
 
 
 def train_and_evaluate(

@@ -6,8 +6,36 @@ are frozen, so :class:`InferenceEngine` propagates once, caches the node
 embeddings and serves every subsequent scoring / top-k request from the cache
 with sparse (CSR) pooling — turning evaluation and serving into pure
 matrix-multiply work.
+
+For vocabularies too large (or cores too many) for one contiguous matmul,
+:mod:`~repro.inference.sharding` cuts the herb matrix into tile-aligned
+column shards whose scores and top-k merges are bit-identical to the
+unsharded path, and :mod:`~repro.inference.backends` chooses how shard tasks
+execute (serial NumPy/BLAS, a thread pool, or anything registered via
+:func:`~repro.inference.backends.register_backend`).
 """
 
+from .backends import (
+    ComputeBackend,
+    NumpyBackend,
+    ThreadPoolBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .engine import InferenceEngine, Recommendation
+from .sharding import HerbShard, ShardedHerbIndex, merge_topk
 
-__all__ = ["InferenceEngine", "Recommendation"]
+__all__ = [
+    "InferenceEngine",
+    "Recommendation",
+    "ComputeBackend",
+    "NumpyBackend",
+    "ThreadPoolBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "HerbShard",
+    "ShardedHerbIndex",
+    "merge_topk",
+]

@@ -1,0 +1,160 @@
+"""Pluggable compute backends for sharded scoring.
+
+A :class:`ComputeBackend` answers one question: *how do independent shard
+tasks get executed?*  The sharded scorer
+(:class:`~repro.inference.sharding.ShardedHerbIndex`) hands it a pure
+function and a list of shards; the backend returns the per-shard results in
+shard order.  Because every shard task is plain NumPy/BLAS work on disjoint
+data, backends only differ in their execution strategy, never in their
+numerics — results are bit-identical across backends by construction.
+
+Built-in backends:
+
+* ``"numpy"`` (:class:`NumpyBackend`) — the default: run shards sequentially
+  on the calling thread, letting the BLAS library use whatever internal
+  threading it is configured with;
+* ``"threads"`` (:class:`ThreadPoolBackend`) — fan shards across a
+  ``ThreadPoolExecutor``.  NumPy releases the GIL inside BLAS calls, so on a
+  multi-core machine shard matmuls genuinely overlap; on a single core this
+  degrades gracefully to serial throughput.
+
+Third-party backends (a GPU backend offloading the shard matmuls to CuPy /
+Torch, a process pool, an RPC fan-out to remote shard servers) plug in via
+:func:`register_backend` and become addressable by name everywhere a backend
+is selected — ``InferenceEngine(backend=...)``, ``Pipeline(backend=...)`` and
+the ``repro predict/serve --backend`` flags.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "ComputeBackend",
+    "NumpyBackend",
+    "ThreadPoolBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+class ComputeBackend(abc.ABC):
+    """Execution strategy for a list of independent shard tasks."""
+
+    #: Registry name (set by :func:`register_backend`).
+    name: str = ""
+
+    @abc.abstractmethod
+    def map(
+        self, func: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        """Apply ``func`` to every item, returning results in item order."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; a no-op for serial backends)."""
+
+    def __enter__(self) -> "ComputeBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: name -> backend factory accepting ``num_workers`` (which serial backends ignore)
+_BACKEND_FACTORIES: Dict[str, Callable[..., ComputeBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: make a :class:`ComputeBackend` selectable by ``name``.
+
+    The decorated class must accept ``num_workers`` as an optional keyword
+    (serial backends may ignore it).  Registering an already-taken name
+    raises, so built-ins cannot be shadowed silently.
+    """
+
+    def decorator(cls):
+        if name in _BACKEND_FACTORIES:
+            raise ValueError(f"compute backend {name!r} is already registered")
+        cls.name = name
+        _BACKEND_FACTORIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_BACKEND_FACTORIES)
+
+
+def get_backend(
+    backend: Union[str, ComputeBackend, None] = None,
+    num_workers: Optional[int] = None,
+) -> ComputeBackend:
+    """Resolve a backend spec: an instance passes through, a name is built.
+
+    ``None`` selects the default ``"numpy"`` backend; an unknown name raises
+    ``ValueError`` listing what is registered.
+    """
+    if backend is None:
+        backend = "numpy"
+    if isinstance(backend, ComputeBackend):
+        return backend
+    try:
+        factory = _BACKEND_FACTORIES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown compute backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(num_workers=num_workers)
+
+
+@register_backend("numpy")
+class NumpyBackend(ComputeBackend):
+    """Serial execution on the calling thread (plain NumPy/BLAS)."""
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        # ``num_workers`` is accepted for factory uniformity; serial by design.
+        del num_workers
+
+    def map(
+        self, func: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        return [func(item) for item in items]
+
+
+@register_backend("threads")
+class ThreadPoolBackend(ComputeBackend):
+    """Fan shard tasks across a lazily-created thread pool.
+
+    BLAS matmuls release the GIL, so shard scoring overlaps across cores.
+    The pool is created on first use and shut down by :meth:`close` (or the
+    context-manager exit); a closed backend transparently re-opens.
+    """
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def map(
+        self, func: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="repro-shard"
+            )
+        return list(self._executor.map(func, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

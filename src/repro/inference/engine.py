@@ -10,17 +10,29 @@ tracking to the model's parameter-version fingerprint) and answers
 * :meth:`recommend_batch` / :meth:`recommend` — top-k herb ids,
 
 chunking large requests so the CSR pooling matrices stay small.
+
+Vocabulary size scales independently of request volume: with
+``num_shards > 1`` the herb-embedding matrix is cut into tile-aligned column
+shards (:class:`~repro.inference.sharding.ShardedHerbIndex`) scored through a
+pluggable :class:`~repro.inference.backends.ComputeBackend` — serially by
+default, or fanned across a thread pool with ``backend="threads"`` — and
+top-k answers heap-merge per-shard candidates without ever materialising the
+full score matrix.  Sharded answers are bit-identical to the unsharded path
+(both run the same fixed scoring-tile grid and the same canonical ranking),
+so sharding is purely an operational knob.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..evaluation.metrics import top_k_indices
 from ..models.base import GraphHerbRecommender
+from .backends import ComputeBackend, get_backend
+from .sharding import ShardedHerbIndex
 
 __all__ = ["InferenceEngine", "Recommendation"]
 
@@ -37,24 +49,62 @@ class Recommendation:
 
 
 class InferenceEngine:
-    """Serve herb scores and top-k recommendations from cached embeddings."""
+    """Serve herb scores and top-k recommendations from cached embeddings.
 
-    def __init__(self, model: GraphHerbRecommender, batch_size: int = 1024) -> None:
+    ``num_shards``/``backend`` select the sharded scoring path: ``backend``
+    accepts a registered name (``"numpy"``, ``"threads"``) or a
+    :class:`~repro.inference.backends.ComputeBackend` instance, and
+    ``num_workers`` sizes the ``"threads"`` pool.  With the default
+    ``num_shards=1`` everything flows through ``model.score_sets`` unchanged.
+    """
+
+    def __init__(
+        self,
+        model: GraphHerbRecommender,
+        batch_size: int = 1024,
+        num_shards: int = 1,
+        backend: Union[str, ComputeBackend, None] = None,
+        num_workers: Optional[int] = None,
+    ) -> None:
         if not isinstance(model, GraphHerbRecommender):
             raise TypeError(
                 f"InferenceEngine requires a GraphHerbRecommender, got {type(model).__name__}"
             )
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
         self.model = model
         self.batch_size = batch_size
+        self.num_shards = num_shards
+        self.backend = get_backend(backend, num_workers=num_workers)
+        # The sharded fast path re-implements only the *base* scoring recipe
+        # (encode_syndrome + tile matmuls).  A subclass that overrides
+        # score_sets defines its own notion of a score, so sharding must
+        # defer to it rather than silently serve different answers.
+        self._base_scoring = type(model).score_sets is GraphHerbRecommender.score_sets
+        self._index: Optional[ShardedHerbIndex] = None
+        self._index_version: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Cache handling
     # ------------------------------------------------------------------
+    @property
+    def sharding_active(self) -> bool:
+        """Whether requests actually take the sharded path.
+
+        False when ``num_shards == 1``, and also for models that override
+        ``score_sets``: the sharded path reproduces only the base scoring
+        recipe, so a custom ``score_sets`` must keep answering (bit-identity
+        with the model's own answers beats fanning out the wrong formula).
+        """
+        return self.num_shards > 1 and self._base_scoring
+
     def warm_up(self) -> "InferenceEngine":
-        """Force the propagation now (e.g. before taking traffic)."""
+        """Force the propagation (and shard build) now, before taking traffic."""
         self.model.cached_encode()
+        if self.sharding_active:
+            self.herb_index()
         return self
 
     def refresh(self) -> "InferenceEngine":
@@ -62,6 +112,21 @@ class InferenceEngine:
         self.model.invalidate_cache()
         self.model.precompute()
         return self
+
+    def close(self) -> None:
+        """Release backend workers (a no-op for the serial default)."""
+        self.backend.close()
+
+    def herb_index(self) -> ShardedHerbIndex:
+        """The column-sharded herb matrix, rebuilt when the model's parameters
+        change (same staleness fingerprint as the propagation cache)."""
+        version = self.model.parameter_version()
+        if self._index is None or self._index_version != version:
+            self._index = ShardedHerbIndex.from_model(self.model, num_shards=self.num_shards)
+            # tag with the pre-build snapshot: a parameter bump landing
+            # mid-build must leave the index looking stale, not fresh
+            self._index_version = version
+        return self._index
 
     @property
     def embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -78,20 +143,30 @@ class InferenceEngine:
     def score_batch(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
         """Herb scores for every symptom set, one propagation total.
 
-        Delegates to ``model.score_sets`` chunk by chunk — the model serves
-        every chunk from the cached propagation (refreshed here once if
-        stale), so only the syndrome induction (sparse CSR pooling + MLP)
-        runs per chunk.  Going through ``score_sets`` keeps a single scoring
-        implementation and respects subclass overrides.
+        Unsharded, this delegates to ``model.score_sets`` chunk by chunk —
+        the model serves every chunk from the cached propagation (refreshed
+        here once if stale), so only the syndrome induction (sparse CSR
+        pooling + MLP) runs per chunk, and subclass ``score_sets`` overrides
+        are respected.  Sharded, each chunk's syndrome scores every herb
+        shard through the configured backend; both paths run the identical
+        fixed-tile matmul grid, so their outputs are bit-identical.
         """
         if len(symptom_sets) == 0:
             return np.zeros((0, self.model.num_herbs), dtype=np.float64)
         self.model.cached_encode()
-        rows: List[np.ndarray] = [
-            self.model.score_sets(symptom_sets[start : start + self.batch_size])
-            for start in range(0, len(symptom_sets), self.batch_size)
-        ]
-        return np.vstack(rows)
+        if not self.sharding_active:
+            rows: List[np.ndarray] = [
+                self.model.score_sets(symptom_sets[start : start + self.batch_size])
+                for start in range(0, len(symptom_sets), self.batch_size)
+            ]
+            return np.vstack(rows)
+        index = self.herb_index()
+        rows = []
+        for start in range(0, len(symptom_sets), self.batch_size):
+            chunk = symptom_sets[start : start + self.batch_size]
+            syndrome = self.model.encode_syndrome(chunk)
+            rows.append(index.score(syndrome, backend=self.backend)[: len(chunk)])
+        return np.asarray(np.vstack(rows), dtype=np.float64)
 
     def recommend_batch(
         self, symptom_sets: Sequence[Sequence[int]], k: Union[int, Sequence[int]] = 20
@@ -100,19 +175,22 @@ class InferenceEngine:
 
         ``k`` may be one integer for the whole batch or one per symptom set,
         so requests asking for different list lengths can share a single
-        scoring matmul.  Rows are ranked per distinct ``k`` with exactly the
-        same ``top_k_indices`` call a sequential request would make, keeping
+        scoring matmul.  Rankings follow the canonical order of
+        ``top_k_indices`` (score descending, herb id ascending), which keeps
         batched answers bit-identical to single-request ones even for tied
-        scores.
+        scores — and, since the sharded path merges per-shard candidates
+        under the same order, identical across ``num_shards`` settings too.
         """
         ks = [k] * len(symptom_sets) if isinstance(k, (int, np.integer)) else list(k)
         if len(ks) != len(symptom_sets):
             raise ValueError(f"got {len(ks)} k values for {len(symptom_sets)} symptom sets")
         if any(kk <= 0 for kk in ks):
             raise ValueError("k must be positive")
-        scores = self.score_batch(symptom_sets)
-        if scores.shape[0] == 0:
+        if len(symptom_sets) == 0:
             return []
+        if self.sharding_active:
+            return self._recommend_sharded(symptom_sets, ks)
+        scores = self.score_batch(symptom_sets)
         results: List[Recommendation] = [None] * scores.shape[0]  # type: ignore[list-item]
         for kk in sorted(set(ks)):
             rows = [row for row, row_k in enumerate(ks) if row_k == kk]
@@ -121,6 +199,33 @@ class InferenceEngine:
                 results[row] = Recommendation(
                     herb_ids=tuple(int(h) for h in top[position]),
                     scores=tuple(float(scores[row, h]) for h in top[position]),
+                )
+        return results
+
+    def _recommend_sharded(
+        self, symptom_sets: Sequence[Sequence[int]], ks: List[int]
+    ) -> List[Recommendation]:
+        """Per-shard top-k + heap merge; the full score matrix never exists.
+
+        One selection pass runs at ``max(ks)``; each row then keeps its own
+        ``k`` prefix — prefixes of the canonical ranking are exactly what
+        ``top_k_indices`` would return at the smaller ``k``.
+        """
+        self.model.cached_encode()
+        index = self.herb_index()
+        k_max = min(max(ks), self.model.num_herbs)
+        results: List[Recommendation] = []
+        for start in range(0, len(symptom_sets), self.batch_size):
+            chunk = symptom_sets[start : start + self.batch_size]
+            syndrome = self.model.encode_syndrome(chunk)
+            ids, scores = index.topk(syndrome, len(chunk), k_max, backend=self.backend)
+            for row, kk in enumerate(ks[start : start + len(chunk)]):
+                keep = min(kk, ids.shape[1])
+                results.append(
+                    Recommendation(
+                        herb_ids=tuple(int(h) for h in ids[row, :keep]),
+                        scores=tuple(float(s) for s in scores[row, :keep]),
+                    )
                 )
         return results
 

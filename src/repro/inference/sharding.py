@@ -1,0 +1,230 @@
+"""Column-sharded herb scoring and exact top-k merging.
+
+One dense ``(num_sets, dim) @ (dim, num_herbs)`` matmul caps the servable
+vocabulary at what fits in a single contiguous matrix.
+:class:`ShardedHerbIndex` removes that cap: it cuts the herb-embedding matrix
+into column shards, scores each shard independently (optionally in parallel —
+see :mod:`repro.inference.backends`), and merges the per-shard top-k
+candidates with the heap-based :func:`merge_topk`.
+
+Two invariants make the sharded results *bit-identical* to the unsharded
+path, not merely close:
+
+1. **Tile-aligned shards.**  Shard boundaries fall on
+   :data:`~repro.models.base.HERB_BLOCK` multiples, and every shard scores
+   through the same fixed ``(SCORING_BLOCK, dim) @ (dim, HERB_BLOCK)`` tile
+   grid as the unsharded :meth:`~repro.models.base.GraphHerbRecommender.
+   score_sets` — so each score is produced by literally the same sequence of
+   floating-point operations in both paths.
+2. **Canonical ranking.**  :func:`~repro.evaluation.metrics.top_k_indices`
+   orders by (score descending, herb id ascending).  Per-shard candidates are
+   selected under that same order, so a k-way heap merge on
+   ``(-score, herb_id)`` reconstructs the global ranking exactly — ties at
+   shard boundaries included.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.base import HERB_BLOCK, SCORING_BLOCK, score_herb_tiles
+from .backends import ComputeBackend, NumpyBackend
+
+__all__ = ["HerbShard", "ShardedHerbIndex", "merge_topk"]
+
+
+@dataclass(frozen=True)
+class HerbShard:
+    """One contiguous column shard of the herb-embedding matrix."""
+
+    index: int
+    #: Global herb-id interval ``[start, stop)`` this shard scores.
+    start: int
+    stop: int
+    #: ``(stop - start, dim)`` slice of the herb embeddings (C-contiguous copy).
+    matrix: np.ndarray = field(repr=False)
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+def _shard_topk(scores: np.ndarray, start: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row top-``k`` of one shard's score block, in the canonical order.
+
+    ``scores`` is ``(rows, width)`` for global herb ids ``start..start+width``.
+    Returns ``(global_ids, values)``, each ``(rows, min(k, width))``, rows
+    sorted by (score desc, id asc) — the same stable order
+    ``top_k_indices`` uses, which :func:`merge_topk` relies on.
+    """
+    k = min(k, scores.shape[1])
+    local = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+    rows = np.arange(scores.shape[0])[:, None]
+    return local + start, scores[rows, local]
+
+
+def merge_topk(
+    shard_ids: Sequence[np.ndarray],
+    shard_scores: Sequence[np.ndarray],
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Heap-merge per-shard top-k candidates into the exact global top-k.
+
+    Each ``shard_ids[s]`` / ``shard_scores[s]`` pair holds one shard's
+    candidates: ``(rows, k_s)`` arrays whose columns are already sorted by
+    (score descending, id ascending).  A k-way merge on ``(-score, id)``
+    yields the globally sorted prefix — identical, ties included, to running
+    :func:`~repro.evaluation.metrics.top_k_indices` on the concatenated score
+    row, because any global top-k element is necessarily within the top-k of
+    its own shard.
+
+    Returns ``(ids, scores)`` of shape ``(rows, min(k, total candidates))``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if len(shard_ids) != len(shard_scores):
+        raise ValueError("shard_ids and shard_scores must pair up")
+    if not shard_ids:
+        raise ValueError("need at least one shard candidate list")
+    num_rows = shard_ids[0].shape[0]
+    k_out = min(k, sum(ids.shape[1] for ids in shard_ids))
+    merged_ids = np.empty((num_rows, k_out), dtype=np.int64)
+    merged_scores = np.empty((num_rows, k_out), dtype=np.float64)
+    for row in range(num_rows):
+        # (sort key..., shard, position) seeds one entry per non-empty shard
+        heap = [
+            (-shard_scores[s][row, 0], int(shard_ids[s][row, 0]), s, 0)
+            for s in range(len(shard_ids))
+            if shard_ids[s].shape[1]
+        ]
+        heapq.heapify(heap)
+        for rank in range(k_out):
+            neg_score, herb_id, s, position = heapq.heappop(heap)
+            merged_ids[row, rank] = herb_id
+            merged_scores[row, rank] = -neg_score
+            position += 1
+            if position < shard_ids[s].shape[1]:
+                heapq.heappush(
+                    heap,
+                    (
+                        -shard_scores[s][row, position],
+                        int(shard_ids[s][row, position]),
+                        s,
+                        position,
+                    ),
+                )
+    return merged_ids, merged_scores
+
+
+class ShardedHerbIndex:
+    """The herb-embedding matrix cut into tile-aligned column shards.
+
+    ``num_shards`` is a request, not a promise: it is clamped to the number
+    of :data:`~repro.models.base.HERB_BLOCK` tiles the vocabulary spans (a
+    shard smaller than one tile would break the fixed-tile determinism
+    guarantee), and tiles are dealt to shards as evenly as possible.
+    """
+
+    def __init__(
+        self,
+        herb_embeddings: np.ndarray,
+        num_shards: int = 1,
+        row_block: int = SCORING_BLOCK,
+    ) -> None:
+        if herb_embeddings.ndim != 2 or herb_embeddings.shape[0] == 0:
+            raise ValueError("herb_embeddings must be a non-empty (num_herbs, dim) matrix")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if row_block <= 0:
+            raise ValueError("row_block must be positive")
+        self.num_herbs = int(herb_embeddings.shape[0])
+        self.dim = int(herb_embeddings.shape[1])
+        self.row_block = int(row_block)
+        num_tiles = -(-self.num_herbs // HERB_BLOCK)
+        actual = min(num_shards, num_tiles)
+        base, extra = divmod(num_tiles, actual)
+        shards: List[HerbShard] = []
+        tile_cursor = 0
+        for index in range(actual):
+            tiles = base + (1 if index < extra else 0)
+            start = tile_cursor * HERB_BLOCK
+            tile_cursor += tiles
+            stop = min(self.num_herbs, tile_cursor * HERB_BLOCK)
+            shards.append(
+                HerbShard(
+                    index=index,
+                    start=start,
+                    stop=stop,
+                    matrix=np.ascontiguousarray(herb_embeddings[start:stop]),
+                )
+            )
+        self.shards: Tuple[HerbShard, ...] = tuple(shards)
+
+    @classmethod
+    def from_model(cls, model, num_shards: int = 1) -> "ShardedHerbIndex":
+        """Build from a model's cached propagation (triggering it if stale)."""
+        _, herb_embeddings = model.cached_encode()
+        return cls(
+            herb_embeddings,
+            num_shards=num_shards,
+            row_block=max(1, int(model.scoring_block)),
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_shard(self, syndrome: np.ndarray, shard: HerbShard) -> np.ndarray:
+        return score_herb_tiles(syndrome, shard.matrix, row_block=self.row_block)
+
+    def score(
+        self, syndrome: np.ndarray, backend: Optional[ComputeBackend] = None
+    ) -> np.ndarray:
+        """The full ``(rows, num_herbs)`` score matrix, shard by shard.
+
+        ``syndrome`` must already be row-padded to ``row_block`` multiples
+        (:meth:`~repro.models.base.GraphHerbRecommender.encode_syndrome`
+        returns it that way); rows stay padded in the result so downstream
+        tile consumers keep the fixed shapes.
+        """
+        backend = backend if backend is not None else NumpyBackend()
+        pieces = backend.map(lambda shard: self._score_shard(syndrome, shard), self.shards)
+        return np.hstack(pieces)
+
+    def topk(
+        self,
+        syndrome: np.ndarray,
+        num_rows: int,
+        k: int,
+        backend: Optional[ComputeBackend] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact global top-``k`` without materialising the full score matrix.
+
+        Each shard task scores its columns *and* reduces them to its local
+        top-k before returning, so peak memory per task is
+        ``rows × shard_width`` scores plus ``rows × k`` candidates — the
+        full ``rows × num_herbs`` matrix never exists.  Candidates then
+        heap-merge into the canonical global ranking (see :func:`merge_topk`).
+
+        ``num_rows`` trims the row padding; returns ``(ids, scores)`` of
+        shape ``(num_rows, min(k, num_herbs))``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        backend = backend if backend is not None else NumpyBackend()
+
+        def score_and_select(shard: HerbShard) -> Tuple[np.ndarray, np.ndarray]:
+            scores = self._score_shard(syndrome, shard)[:num_rows]
+            return _shard_topk(scores, shard.start, k)
+
+        candidates = backend.map(score_and_select, self.shards)
+        shard_ids = [ids for ids, _ in candidates]
+        shard_scores = [scores for _, scores in candidates]
+        return merge_topk(shard_ids, shard_scores, k)

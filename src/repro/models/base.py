@@ -22,7 +22,13 @@ import numpy as np
 
 from ..nn import Module, Tensor, no_grad
 
-__all__ = ["HerbRecommender", "GraphHerbRecommender", "SCORING_BLOCK"]
+__all__ = [
+    "HerbRecommender",
+    "GraphHerbRecommender",
+    "SCORING_BLOCK",
+    "HERB_BLOCK",
+    "score_herb_tiles",
+]
 
 #: Fixed row-block size for the evaluation/serving scoring path.  Every
 #: ``score_sets`` call is padded to a multiple of this many rows so that the
@@ -35,6 +41,71 @@ __all__ = ["HerbRecommender", "GraphHerbRecommender", "SCORING_BLOCK"]
 #: of float ops no matter how it was batched, making micro-batched responses
 #: bit-identical to single-request ones.
 SCORING_BLOCK = 64
+
+#: Fixed column-block size for the herb inner product — the same determinism
+#: trick as :data:`SCORING_BLOCK`, applied to the herb axis.  The final
+#: ``syndrome @ herb_embeddings.T`` runs as a grid of
+#: ``(SCORING_BLOCK, dim) @ (dim, HERB_BLOCK)`` tiles, so the floating-point
+#: recipe for any single score depends only on its tile's contents — not on
+#: the total vocabulary width handed to one matmul.  Because the sharded
+#: scorer (:class:`repro.inference.sharding.ShardedHerbIndex`) cuts the
+#: vocabulary on these same tile boundaries, splitting the herb matrix
+#: across shards reproduces the unsharded scores bit for bit.  Unlike the
+#: row axis, the herb axis is static per model, so the trailing partial tile
+#: needs no zero padding: its (possibly narrower) shape is the same on every
+#: call and in every tile-aligned shard layout.
+HERB_BLOCK = 256
+
+
+def _pad_rows(matrix: np.ndarray, block: int) -> np.ndarray:
+    """Zero-pad ``matrix`` with rows up to the next multiple of ``block``."""
+    remainder = (-matrix.shape[0]) % block
+    if remainder == 0:
+        return matrix
+    pad = np.zeros((remainder, matrix.shape[1]), dtype=matrix.dtype)
+    return np.vstack([matrix, pad])
+
+
+def score_herb_tiles(
+    syndrome: np.ndarray,
+    herb_matrix: np.ndarray,
+    row_block: int = SCORING_BLOCK,
+    herb_block: int = HERB_BLOCK,
+) -> np.ndarray:
+    """Inner-product scoring over a fixed ``(row_block, herb_block)`` tile grid.
+
+    ``syndrome`` is ``(num_rows, dim)`` with ``num_rows`` already padded to a
+    multiple of ``row_block`` (see
+    :meth:`GraphHerbRecommender.encode_syndrome`); ``herb_matrix`` is
+    ``(num_herbs, dim)``.  Every output element comes from one
+    ``(row_block, dim) @ (dim, herb_block)`` gemm — the trailing column tile
+    may be narrower, which is fine because the herb axis is static per model
+    (see :data:`HERB_BLOCK`) — so the result is invariant to how the
+    vocabulary was split into tile-aligned shards: the invariant both the
+    unsharded and the sharded scoring paths are built on.
+
+    Returns the ``(num_rows, num_herbs)`` score matrix (the caller owns the
+    row trim).
+    """
+    if syndrome.shape[0] % row_block:
+        raise ValueError(
+            f"syndrome rows ({syndrome.shape[0]}) must be a multiple of row_block ({row_block})"
+        )
+    herb_matrix = np.ascontiguousarray(herb_matrix)
+    column_tiles = []
+    for tile_start in range(0, herb_matrix.shape[0], herb_block):
+        tile = herb_matrix[tile_start : tile_start + herb_block].T  # (dim, <= herb_block)
+        blocks = [
+            syndrome[row_start : row_start + row_block] @ tile
+            for row_start in range(0, syndrome.shape[0], row_block)
+        ]
+        if not blocks:
+            column_tiles.append(np.zeros((0, tile.shape[1])))
+        else:
+            column_tiles.append(blocks[0] if len(blocks) == 1 else np.vstack(blocks))
+    if not column_tiles:
+        return np.zeros((syndrome.shape[0], 0), dtype=np.float64)
+    return column_tiles[0] if len(column_tiles) == 1 else np.hstack(column_tiles)
 
 
 class HerbRecommender(abc.ABC):
@@ -183,26 +254,24 @@ class GraphHerbRecommender(Module, HerbRecommender):
     #: Overridable per instance/subclass; see :data:`SCORING_BLOCK`.
     scoring_block: int = SCORING_BLOCK
 
-    def score_sets(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
-        """Evaluation-mode scoring: no dropout, no autograd graph.
+    def encode_syndrome(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Eval-mode syndrome embeddings, row-padded to :attr:`scoring_block`.
 
-        Served from the cached propagation: the expensive full-graph
-        ``encode()`` runs at most once while the parameters are frozen, no
-        matter how many batches are scored.  Only the per-batch syndrome
-        induction (pooling + MLP) is recomputed here.
-
-        The batch is processed in fixed-size row blocks of
-        :attr:`scoring_block` (the final block padded with a dummy set), so a
-        request's scores are bit-identical whether it arrives alone or inside
-        a micro-batch — the property the serving layer's determinism tests
-        pin down.
+        The first half of the scoring pipeline: pool each symptom set over the
+        cached propagation and run the syndrome MLP, in fixed row blocks (the
+        final block filled with a dummy ``(0,)`` set) so every block's matmuls
+        have the same shape regardless of batching.  Returns a
+        ``(padded_rows, dim)`` array whose first ``len(symptom_sets)`` rows
+        are the real syndromes — callers that go on to score shards of the
+        vocabulary (:class:`repro.inference.sharding.ShardedHerbIndex`) reuse
+        this one result for every shard.
         """
-        num_sets = len(symptom_sets)
-        if num_sets == 0:
-            return np.zeros((0, self.num_herbs), dtype=np.float64)
+        _, herb_embeddings = self.cached_encode()
+        if len(symptom_sets) == 0:
+            return np.zeros((0, herb_embeddings.shape[1]), dtype=np.float64)
         block = max(1, int(self.scoring_block))
-        padded = list(symptom_sets) + [(0,)] * (-num_sets % block)
-        symptom_embeddings, herb_embeddings = self.cached_encode()
+        padded = list(symptom_sets) + [(0,)] * (-len(symptom_sets) % block)
+        symptom_embeddings, _ = self.cached_encode()
         was_training = self.training
         self._apply_training_flag(False)
         rows = []
@@ -212,7 +281,58 @@ class GraphHerbRecommender(Module, HerbRecommender):
                     syndrome = self.induce_syndrome(
                         Tensor(symptom_embeddings), padded[start : start + block]
                     )
-                    rows.append((syndrome @ Tensor(herb_embeddings).T).data)
+                    rows.append(syndrome.data)
         finally:
             self._apply_training_flag(was_training)
-        return np.array(np.vstack(rows)[:num_sets], dtype=np.float64)
+        return rows[0] if len(rows) == 1 else np.vstack(rows)
+
+    def score_sets(
+        self,
+        symptom_sets: Sequence[Sequence[int]],
+        herb_range: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
+        """Evaluation-mode scoring: no dropout, no autograd graph.
+
+        Served from the cached propagation: the expensive full-graph
+        ``encode()`` runs at most once while the parameters are frozen, no
+        matter how many batches are scored.  Only the per-batch syndrome
+        induction (pooling + MLP) is recomputed here.
+
+        Determinism comes from a fixed tile grid in both axes.  Rows are
+        padded to :attr:`scoring_block` (see :data:`SCORING_BLOCK`: BLAS
+        picks shape-dependent summation orders, so without padding a
+        request's scores would wobble at the 1e-17 level with its batchmates
+        — enough to flip near-tied top-k orderings between batched and
+        sequential serving).  Herb columns are scored in fixed
+        :data:`HERB_BLOCK` tiles for the same reason applied to the herb
+        axis, which is what makes column-sharded scoring bit-identical to
+        this unsharded path.
+
+        ``herb_range`` — the shard-aware entry point — restricts scoring to
+        the global herb-id interval ``[start, stop)``; the tiles computed for
+        a range are the same tiles the full-vocabulary call computes, so
+        partial scores agree bitwise with slices of the full matrix.
+        """
+        num_sets = len(symptom_sets)
+        start, stop = (0, self.num_herbs) if herb_range is None else herb_range
+        if not 0 <= start < stop <= self.num_herbs:
+            raise ValueError(
+                f"herb_range must satisfy 0 <= start < stop <= {self.num_herbs}, "
+                f"got ({start}, {stop})"
+            )
+        if num_sets == 0:
+            return np.zeros((0, stop - start), dtype=np.float64)
+        syndrome = self.encode_syndrome(symptom_sets)
+        _, herb_embeddings = self.cached_encode()
+        # expand to covering HERB_BLOCK tiles so every tile matches the grid
+        # the full-vocabulary call (and every tile-aligned shard) computes
+        tile_start = (start // HERB_BLOCK) * HERB_BLOCK
+        tile_stop = min(self.num_herbs, -(-stop // HERB_BLOCK) * HERB_BLOCK)
+        scores = score_herb_tiles(
+            syndrome,
+            herb_embeddings[tile_start:tile_stop],
+            row_block=max(1, int(self.scoring_block)),
+        )
+        return np.array(
+            scores[:num_sets, start - tile_start : stop - tile_start], dtype=np.float64
+        )

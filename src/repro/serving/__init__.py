@@ -12,9 +12,11 @@ with per-request futures, error isolation and live stats:
   percentiles.
 
 Responses are bit-identical to sequential
-:meth:`~repro.api.Pipeline.recommend` calls: the scoring path runs in fixed
-row blocks (see :data:`repro.models.base.SCORING_BLOCK`), so a request's
-answer does not depend on its batchmates.
+:meth:`~repro.api.Pipeline.recommend` calls: the scoring path runs on a
+fixed tile grid (:data:`repro.models.base.SCORING_BLOCK` rows ×
+:data:`repro.models.base.HERB_BLOCK` herb columns), so a request's answer
+depends neither on its batchmates nor on how the vocabulary is sharded.
+The full protocol and operational reference lives in ``docs/SERVING.md``.
 """
 
 from .batcher import MicroBatcher

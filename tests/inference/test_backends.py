@@ -1,0 +1,108 @@
+"""Tests for the pluggable compute backends behind sharded scoring."""
+
+import numpy as np
+import pytest
+
+from repro.inference.backends import (
+    ComputeBackend,
+    NumpyBackend,
+    ThreadPoolBackend,
+    _BACKEND_FACTORIES,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert isinstance(get_backend(None), NumpyBackend)
+        assert get_backend(None).name == "numpy"
+
+    def test_by_name(self):
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        assert isinstance(get_backend("threads"), ThreadPoolBackend)
+
+    def test_instance_passes_through(self):
+        backend = ThreadPoolBackend(num_workers=2)
+        assert get_backend(backend) is backend
+        backend.close()
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("gpu-cluster")
+
+    def test_available_backends_contains_builtins(self):
+        names = available_backends()
+        assert "numpy" in names and "threads" in names
+
+    def test_num_workers_reaches_thread_pool(self):
+        backend = get_backend("threads", num_workers=3)
+        assert backend.num_workers == 3
+        backend.close()
+
+
+class TestNumpyBackend:
+    def test_map_preserves_order(self):
+        assert NumpyBackend().map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_close_is_noop(self):
+        backend = NumpyBackend()
+        backend.close()
+        assert backend.map(len, ["ab"]) == [2]
+
+
+class TestThreadPoolBackend:
+    def test_map_matches_serial(self):
+        items = [np.arange(12).reshape(3, 4) + i for i in range(9)]
+        func = lambda m: m @ m.T  # noqa: E731
+        with ThreadPoolBackend(num_workers=4) as backend:
+            pooled = backend.map(func, items)
+        serial = NumpyBackend().map(func, items)
+        for a, b in zip(pooled, serial):
+            np.testing.assert_array_equal(a, b)
+
+    def test_reopens_after_close(self):
+        backend = ThreadPoolBackend(num_workers=2)
+        assert backend.map(lambda x: x + 1, [1]) == [2]
+        backend.close()
+        assert backend.map(lambda x: x + 1, [2]) == [3]
+        backend.close()
+        backend.close()  # idempotent
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ThreadPoolBackend(num_workers=0)
+
+    def test_propagates_worker_exceptions(self):
+        def boom(_):
+            raise RuntimeError("shard failed")
+
+        with ThreadPoolBackend(num_workers=2) as backend:
+            with pytest.raises(RuntimeError, match="shard failed"):
+                backend.map(boom, [1, 2])
+
+
+class TestRegistry:
+    def test_register_and_resolve_custom_backend(self):
+        @register_backend("test-serial")
+        class TestSerial(ComputeBackend):
+            def __init__(self, num_workers=None):
+                pass
+
+            def map(self, func, items):
+                return [func(item) for item in items]
+
+        try:
+            assert "test-serial" in available_backends()
+            assert isinstance(get_backend("test-serial"), TestSerial)
+        finally:
+            _BACKEND_FACTORIES.pop("test-serial")
+
+    def test_duplicate_name_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend("numpy")
+            class Shadow(ComputeBackend):  # pragma: no cover - never registered
+                def map(self, func, items):
+                    return []

@@ -229,3 +229,144 @@ class TestInferenceEngine:
         direct = model.forward(sets).data
         served = InferenceEngine(model, batch_size=16).score_batch(sets)
         np.testing.assert_allclose(served, direct, atol=1e-12)
+
+
+@pytest.fixture(scope="module")
+def wide_split():
+    """A corpus whose herb vocabulary spans several HERB_BLOCK tiles."""
+    from repro.data import SyntheticTCMConfig, generate_corpus
+
+    corpus = generate_corpus(
+        SyntheticTCMConfig(
+            num_symptoms=40,
+            num_herbs=700,
+            num_syndromes=8,
+            num_prescriptions=250,
+            seed=5,
+        )
+    )
+    return corpus.dataset.train_test_split(test_fraction=0.2, rng=np.random.default_rng(5))
+
+
+@pytest.fixture(scope="module")
+def wide_model(wide_split):
+    from repro.models import SMGCN, SMGCNConfig
+
+    train, _ = wide_split
+    config = SMGCNConfig(
+        embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+    )
+    return SMGCN.from_dataset(train, config)
+
+
+class TestShardedEngine:
+    """num_shards/backend are operational knobs: answers never change."""
+
+    def test_validation(self, wide_model):
+        with pytest.raises(ValueError, match="num_shards"):
+            InferenceEngine(wide_model, num_shards=0)
+        with pytest.raises(ValueError, match="backend"):
+            InferenceEngine(wide_model, backend="not-a-backend")
+
+    def test_index_is_genuinely_sharded(self, wide_model):
+        engine = InferenceEngine(wide_model, num_shards=3)
+        assert engine.herb_index().num_shards == 3
+
+    @pytest.mark.parametrize("num_shards", [2, 3, 50])
+    @pytest.mark.parametrize("backend", ["numpy", "threads"])
+    def test_score_batch_bit_identical(self, wide_split, wide_model, num_shards, backend):
+        _, test = wide_split
+        sets = test.symptom_sets()[:40]
+        baseline = InferenceEngine(wide_model).score_batch(sets)
+        engine = InferenceEngine(
+            wide_model, batch_size=16, num_shards=num_shards, backend=backend, num_workers=2
+        )
+        try:
+            np.testing.assert_array_equal(engine.score_batch(sets), baseline)
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("num_shards", [2, 3, 50])
+    def test_recommend_batch_bit_identical(self, wide_split, wide_model, num_shards):
+        _, test = wide_split
+        sets = test.symptom_sets()[:30]
+        baseline = InferenceEngine(wide_model)
+        sharded = InferenceEngine(wide_model, batch_size=16, num_shards=num_shards)
+        for k in (1, 10, 300, 10_000):
+            assert sharded.recommend_batch(sets, k=k) == baseline.recommend_batch(sets, k=k)
+
+    def test_recommend_batch_per_request_k(self, wide_split, wide_model):
+        _, test = wide_split
+        sets = test.symptom_sets()[:12]
+        ks = [3, 700, 1, 25] * 3
+        baseline = InferenceEngine(wide_model)
+        sharded = InferenceEngine(wide_model, num_shards=3, backend="threads", num_workers=2)
+        try:
+            assert sharded.recommend_batch(sets, k=ks) == baseline.recommend_batch(sets, k=ks)
+        finally:
+            sharded.close()
+
+    def test_empty_request(self, wide_model):
+        engine = InferenceEngine(wide_model, num_shards=3)
+        assert engine.score_batch([]).shape == (0, wide_model.num_herbs)
+        assert engine.recommend_batch([], k=5) == []
+
+    def test_warm_up_builds_index_once(self, wide_model):
+        engine = InferenceEngine(wide_model, num_shards=4).warm_up()
+        index = engine.herb_index()
+        engine.score_batch([(0, 1)])
+        assert engine.herb_index() is index, "index rebuilt despite unchanged parameters"
+
+    def test_parameter_update_rebuilds_index(self, wide_split, wide_model):
+        _, test = wide_split
+        sets = test.symptom_sets()[:8]
+        engine = InferenceEngine(wide_model, num_shards=3)
+        before = engine.score_batch(sets)
+        stale_index = engine.herb_index()
+        for param in wide_model.parameters():
+            param.data = param.data + 0.05
+            param.bump_version()
+        after = engine.score_batch(sets)
+        assert engine.herb_index() is not stale_index
+        assert not np.allclose(before, after)
+        np.testing.assert_array_equal(after, InferenceEngine(wide_model).score_batch(sets))
+
+    def test_subclass_score_sets_override_beats_sharding(self, wide_split):
+        """A custom score_sets defines the scores; sharding must defer to it."""
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+
+        class Boosted(SMGCN):
+            def score_sets(self, symptom_sets, herb_range=None):
+                return super().score_sets(symptom_sets, herb_range=herb_range) + 100.0
+
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = Boosted.from_dataset(train, config)
+        engine = InferenceEngine(model, num_shards=3)
+        assert not engine.sharding_active
+        scores = engine.score_batch([(0, 1), (2,)])
+        assert scores.min() > 50.0, "override bypassed by the sharded fast path"
+        assert InferenceEngine(SMGCN.from_dataset(train, config), num_shards=3).sharding_active
+
+    def test_sharded_matches_across_all_registered_neural_models(self, wide_split):
+        """Acceptance gate: every neural model in the zoo shards bit-identically."""
+        from repro.models import MODEL_REGISTRY
+        from repro.models.base import GraphHerbRecommender
+
+        from repro.experiments.datasets import get_profile
+
+        train, test = wide_split
+        sets = test.symptom_sets()[:10]
+        profile = get_profile("smoke")
+        neural_names = MODEL_REGISTRY.neural_names() + MODEL_REGISTRY.variant_names()
+        assert neural_names, "registry unexpectedly empty"
+        for name in neural_names:
+            entry = MODEL_REGISTRY.get(name)
+            model = entry.build(train, entry.default_config(profile, seed=0))
+            assert isinstance(model, GraphHerbRecommender)
+            baseline = InferenceEngine(model).recommend_batch(sets, k=12)
+            sharded = InferenceEngine(model, num_shards=3).recommend_batch(sets, k=12)
+            assert sharded == baseline, f"{name} diverged under sharding"

@@ -83,6 +83,23 @@ class TestRecommend:
         assert scores.shape == (1, pipeline.model.num_herbs)
 
 
+class TestShardedPipeline:
+    def test_sharding_knobs_reach_the_engine(self, fitted):
+        sharded = Pipeline("SMGCN", scale="smoke", num_shards=4, backend="threads", num_workers=2)
+        sharded._model = fitted.model  # share the fitted model; knobs are serving-only
+        engine = sharded.engine
+        try:
+            assert engine.num_shards == 4
+            assert engine.backend.name == "threads"
+            queries = ["0 3", [1], "2 4 5"]
+            assert sharded.recommend_many(queries, k=6) == fitted.recommend_many(queries, k=6)
+            np.testing.assert_array_equal(
+                sharded.score([(0, 3), (1,)]), fitted.score([(0, 3), (1,)])
+            )
+        finally:
+            engine.close()
+
+
 class TestRecommendMany:
     def test_bit_identical_to_sequential_recommend(self, fitted):
         queries = ["0 3", [1, 2], "2 4 5", [0], "1 3 4"]
@@ -175,6 +192,16 @@ class TestSaveLoad:
         path = fitted.save(tmp_path / "m.npz")
         with pytest.raises(KeyError, match="unknown experiment scale"):
             Pipeline.load(path, scale="huge")
+
+    def test_load_accepts_sharding_knobs(self, fitted, tmp_path):
+        path = fitted.save(tmp_path / "m.npz")
+        loaded = Pipeline.load(path, num_shards=3, backend="threads", num_workers=2)
+        assert loaded.num_shards == 3
+        engine = loaded.engine
+        assert engine.num_shards == 3
+        assert engine.backend.name == "threads"
+        assert loaded.recommend("0 3", k=5) == fitted.recommend("0 3", k=5)
+        engine.close()
 
     def test_load_preserves_config_and_seed_for_refit(self, tmp_path):
         original = Pipeline(

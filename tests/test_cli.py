@@ -332,3 +332,69 @@ class TestPredictServe:
         assert args.host == "127.0.0.1"
         assert args.max_batch == 64
         assert args.max_wait_ms == 5.0
+        assert args.shards == 1
+        assert args.backend is None
+        assert args.workers is None
+
+    def test_help_epilog_documents_train_checkpoint(self):
+        help_text = build_parser().format_help()
+        assert "train --model SMGCN" in help_text
+        assert "--checkpoint" in help_text
+        assert "--shards" in help_text
+        assert "docs/SERVING.md" in help_text
+
+
+class TestShardingFlags:
+    def test_invalid_shards(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0", "--shards", "0"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_invalid_workers(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0", "--workers", "-2"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_backend_without_shards_refused(self, capsys):
+        code = main(
+            ["predict", "--scale", "smoke", "--symptoms", "0", "--backend", "threads"]
+        )
+        assert code == 2
+        assert "--shards >= 2" in capsys.readouterr().err
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0", "--workers", "2"])
+        assert code == 2
+        assert "--shards >= 2" in capsys.readouterr().err
+
+    def test_unknown_backend_fails_before_training(self, capsys, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("training must not start for an unknown backend")
+
+        monkeypatch.setattr("repro.training.trainer.Trainer.fit", boom)
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0", "--backend", "cuda"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'cuda'" in err
+        assert "numpy" in err and "threads" in err
+
+    def test_predict_with_shards_matches_unsharded(self, capsys):
+        argv = ["predict", "--scale", "smoke", "--symptoms", "0 3", "--k", "4",
+                "--epochs", "1", "--seed", "0"]
+        assert main(argv) == 0
+        unsharded = capsys.readouterr().out
+        assert (
+            main(argv + ["--shards", "4", "--backend", "threads", "--workers", "2"]) == 0
+        )
+        assert capsys.readouterr().out == unsharded
+
+    def test_serve_with_shards(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 3\n\n"))
+        code = main(
+            ["serve", "--scale", "smoke", "--k", "3", "--epochs", "1",
+             "--shards", "2", "--backend", "threads"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        responses = captured.out.splitlines()
+        assert len(responses) == 1 and responses[0].startswith("herb_")
