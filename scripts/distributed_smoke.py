@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Distributed-serving smoke test: real shard workers, parity, clean shutdown.
+
+Spawns two genuine ``repro shard-worker`` subprocesses (the CLI verb, not
+in-process servers), fans sharded scoring across them through the
+``remote`` backend, and asserts three things:
+
+1. **Parity** — scores and top-k through the two workers are bit-identical
+   to the serial ``numpy`` backend;
+2. **Liveness reporting** — the workers answer the ``stats`` control line
+   and report the attached snapshot;
+3. **Graceful shutdown** — SIGTERM stops each worker with exit code 0 and a
+   final stats report.
+
+Run from the repository root (CI smoke job)::
+
+    PYTHONPATH=src python scripts/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.inference import NumpyBackend, RemoteBackend, ShardedHerbIndex  # noqa: E402
+from repro.models.base import SCORING_BLOCK, _pad_rows  # noqa: E402
+
+LISTEN_RE = re.compile(r"shard-worker listening on ([\w.\-]+):(\d+)")
+NUM_WORKERS = 2
+NUM_HERBS = 3_000
+DIM = 32
+NUM_ROWS = 50
+K = 15
+
+
+def spawn_worker() -> tuple:
+    """Start one `repro shard-worker` subprocess; return (process, (host, port))."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-worker", "--port", "0"],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    line = process.stderr.readline()
+    match = LISTEN_RE.search(line)
+    if not match:
+        process.kill()
+        raise SystemExit(f"worker did not announce its address, said: {line!r}")
+    return process, (match.group(1), int(match.group(2)))
+
+
+def read_stats_line(address) -> str:
+    with socket.create_connection(address, timeout=10) as connection:
+        connection.sendall(b"stats\n")
+        return connection.makefile("r", encoding="utf-8").readline().strip()
+
+
+def main() -> int:
+    workers = [spawn_worker() for _ in range(NUM_WORKERS)]
+    addresses = [address for _, address in workers]
+    print(f"spawned {NUM_WORKERS} shard workers: {addresses}")
+    try:
+        rng = np.random.default_rng(7)
+        herbs = rng.normal(size=(NUM_HERBS, DIM))
+        syndrome = _pad_rows(rng.normal(size=(NUM_ROWS, DIM)), SCORING_BLOCK)
+        index = ShardedHerbIndex(herbs, num_shards=4)
+
+        reference_scores = index.score(syndrome, backend=NumpyBackend())
+        reference_ids, reference_topk = index.topk(syndrome, NUM_ROWS, K)
+
+        remote = RemoteBackend(
+            worker_addrs=[f"{host}:{port}" for host, port in addresses], timeout_s=30.0
+        )
+        try:
+            scores = index.score(syndrome, backend=remote)
+            ids, topk = index.topk(syndrome, NUM_ROWS, K, backend=remote)
+            assert np.array_equal(scores, reference_scores), "remote scores diverged"
+            assert np.array_equal(ids, reference_ids), "remote top-k ids diverged"
+            assert np.array_equal(topk, reference_topk), "remote top-k scores diverged"
+            status = remote.status()
+            assert status["workers_alive"] == NUM_WORKERS, f"liveness reported {status}"
+            print(f"parity: bit-identical across {NUM_WORKERS} workers ({status})")
+        finally:
+            remote.close()
+
+        for address in addresses:
+            stats_line = read_stats_line(address)
+            assert "backend=shard-worker" in stats_line, stats_line
+            assert "snapshot=" in stats_line, stats_line
+            print(f"{address[0]}:{address[1]} {stats_line}")
+    except BaseException:
+        for process, _ in workers:
+            process.kill()
+        raise
+
+    # graceful shutdown: SIGTERM must drain, report stats and exit 0
+    for process, address in workers:
+        process.send_signal(signal.SIGTERM)
+    deadline = time.monotonic() + 15
+    for process, address in workers:
+        try:
+            process.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise SystemExit(f"worker {address} ignored SIGTERM (hang)")
+        tail = process.stderr.read()
+        if process.returncode != 0:
+            raise SystemExit(
+                f"worker {address} exited {process.returncode} on SIGTERM:\n{tail}"
+            )
+        if "serving stats:" not in tail:
+            raise SystemExit(f"worker {address} quit without a stats report:\n{tail}")
+    print(f"graceful shutdown: {NUM_WORKERS}/{NUM_WORKERS} workers exited 0 with stats")
+    print("distributed smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,7 @@ class Pipeline:
         num_shards: int = 1,
         backend=None,
         num_workers: Optional[int] = None,
+        worker_addrs: Optional[Sequence[str]] = None,
         **model_overrides,
     ) -> None:
         self._entry = MODEL_REGISTRY.get(model)  # fail fast on unknown names
@@ -90,6 +91,7 @@ class Pipeline:
         self.num_shards = num_shards
         self.backend = backend
         self.num_workers = num_workers
+        self.worker_addrs = list(worker_addrs) if worker_addrs is not None else None
         self.model_overrides = dict(model_overrides)
         self._model = None
         self._history = None
@@ -174,8 +176,18 @@ class Pipeline:
                 num_shards=self.num_shards,
                 backend=self.backend,
                 num_workers=self.num_workers,
+                worker_addrs=self.worker_addrs,
             ).warm_up()
         return self._engine
+
+    def close(self) -> None:
+        """Release serving resources (backend workers, shared memory, sockets).
+
+        Safe to call on an unfitted pipeline and idempotent; the pipeline can
+        keep serving afterwards (pooled backends re-open lazily).
+        """
+        if self._engine is not None:
+            self._engine.close()
 
     def score(self, symptom_sets: Sequence[Sequence[int]]) -> np.ndarray:
         """Herb-score matrix for already-encoded symptom-id sets."""
@@ -253,6 +265,7 @@ class Pipeline:
         num_shards: int = 1,
         backend=None,
         num_workers: Optional[int] = None,
+        worker_addrs: Optional[Sequence[str]] = None,
     ) -> "Pipeline":
         """Rebuild a pipeline from a checkpoint in milliseconds — no training.
 
@@ -262,8 +275,9 @@ class Pipeline:
         the corpus in-flight.  The loaded pipeline carries the checkpoint's
         seed and config as its own, so a later ``fit()`` retrains the same
         architecture rather than a default one.  ``num_shards``/``backend``/
-        ``num_workers`` configure the serving engine exactly as in the
-        constructor — sharding is a serving knob, not a checkpoint property.
+        ``num_workers``/``worker_addrs`` configure the serving engine exactly
+        as in the constructor — sharding and backend placement are serving
+        knobs, not checkpoint properties.
         """
         import dataclasses
 
@@ -289,6 +303,7 @@ class Pipeline:
             num_shards=num_shards,
             backend=backend,
             num_workers=num_workers,
+            worker_addrs=worker_addrs,
             **overrides,
         )
         pipeline._model = model

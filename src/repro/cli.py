@@ -25,8 +25,13 @@ TCP connections with ``--port`` — through one pooling matmul per flush
 
 Both ``predict`` and ``serve`` take ``--shards``/``--backend``/``--workers``
 to split the herb-embedding matrix into column shards scored through a
-pluggable compute backend (serial ``numpy`` or a ``threads`` worker pool);
-answers are bit-identical whatever the sharding — see docs/SERVING.md.
+pluggable compute backend: serial ``numpy``, a ``threads`` pool, a
+``processes`` pool (weights in shared memory), or ``remote`` shard workers
+(``--worker-addr host:port``, one per running ``repro shard-worker``);
+answers are bit-identical whatever the placement — see docs/SERVING.md.
+
+``shard-worker`` runs one such worker: a model-free scoring server that
+receives weight snapshots and shard tasks over TCP.
 """
 
 from __future__ import annotations
@@ -54,11 +59,16 @@ examples:
   repro predict --checkpoint smgcn.npz --symptoms "symptom_003 17" --k 5
   echo "symptom_003 17" | repro serve --checkpoint smgcn.npz --k 10
   repro serve --checkpoint smgcn.npz --port 7654 --max-batch 64 --max-wait-ms 5
-  repro serve --checkpoint smgcn.npz --shards 4 --backend threads --workers 4
+  repro serve --checkpoint smgcn.npz --shards 4 --backend processes --workers 4
+  repro shard-worker --port 7801      # one model-free scoring worker
+  repro serve --checkpoint smgcn.npz --shards 4 --backend remote \\
+      --worker-addr 127.0.0.1:7801 --worker-addr 127.0.0.1:7802
 
 `train --checkpoint` persists trained weights so predict/serve start in
 milliseconds; `--shards`/`--backend` split herb scoring into column shards
-on a pluggable compute backend (bit-identical answers either way).
+on a pluggable compute backend — in-process (numpy/threads), a process
+pool (processes), or remote shard-worker servers (remote) — with
+bit-identical answers whatever the placement.
 See docs/ARCHITECTURE.md and docs/SERVING.md for the full picture.
 """
 
@@ -150,6 +160,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a partial batch once its oldest request has waited this "
         "long (default: 5.0)",
     )
+
+    worker_parser = subparsers.add_parser(
+        "shard-worker",
+        help="run one model-free shard-scoring worker (the server side of "
+        "--backend remote)",
+    )
+    worker_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to serve shard tasks on (0 picks a free one; default: 0)",
+    )
+    worker_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1 — use 0.0.0.0 to accept "
+        "tasks from other machines)",
+    )
     return parser
 
 
@@ -187,13 +215,24 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         default=None,
         help="compute backend for shard scoring: 'numpy' (serial BLAS, the "
-        "default) or 'threads' (worker pool), or any registered backend name",
+        "default), 'threads' (thread pool), 'processes' (process pool over "
+        "shared memory), 'remote' (shard-worker servers via --worker-addr), "
+        "or any registered backend name",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker count for --backend threads (default: the CPU count)",
+        help="worker count for --backend threads/processes (default: the "
+        "schedulable CPU count)",
+    )
+    parser.add_argument(
+        "--worker-addr",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of a running `repro shard-worker` (repeat once per "
+        "worker; requires --backend remote)",
     )
 
 
@@ -237,6 +276,7 @@ def _build_pipeline(args):
         num_shards=args.shards,
         backend=args.backend,
         num_workers=args.workers,
+        worker_addrs=args.worker_addr,
     ).fit()
 
 
@@ -257,8 +297,9 @@ def _check_k(args) -> Optional[int]:
 
 
 def _check_sharding(args) -> Optional[int]:
-    """Validate --shards/--backend/--workers before paying for model setup."""
+    """Validate --shards/--backend/--workers/--worker-addr before paying for model setup."""
     from .inference.backends import available_backends
+    from .inference.distributed import parse_worker_addr
 
     if args.shards <= 0:
         print("error: --shards must be a positive integer", file=sys.stderr)
@@ -273,12 +314,35 @@ def _check_sharding(args) -> Optional[int]:
             file=sys.stderr,
         )
         return 2
-    if args.shards == 1 and (args.workers is not None or args.backend not in (None, "numpy")):
+    if args.shards == 1 and (
+        args.workers is not None
+        or args.worker_addr
+        or args.backend not in (None, "numpy")
+    ):
         print(
-            "error: --backend/--workers only take effect with --shards >= 2",
+            "error: --backend/--workers/--worker-addr only take effect with --shards >= 2",
             file=sys.stderr,
         )
         return 2
+    if args.backend == "remote" and not args.worker_addr:
+        print(
+            "error: --backend remote needs at least one --worker-addr "
+            "(start workers with `repro shard-worker`)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.worker_addr and args.backend != "remote":
+        print("error: --worker-addr requires --backend remote", file=sys.stderr)
+        return 2
+    if args.worker_addr and args.workers is not None:
+        print("error: --workers conflicts with --worker-addr (one worker per address)", file=sys.stderr)
+        return 2
+    for addr in args.worker_addr or []:
+        try:
+            parse_worker_addr(addr)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     return None
 
 
@@ -378,7 +442,10 @@ def _run_predict(args) -> int:
         symptom_ids = _parse_symptoms(args.symptoms, _serving_vocab(args, pipeline))
         if pipeline is None:
             pipeline = _build_pipeline(args)
-        recommendation = pipeline.recommend(symptom_ids, k=args.k)
+        try:
+            recommendation = pipeline.recommend(symptom_ids, k=args.k)
+        finally:
+            pipeline.close()  # release backend workers / shared memory
     except (ValueError, KeyError, OSError, CheckpointError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -406,6 +473,7 @@ def _load_or_none(args):
         num_shards=args.shards,
         backend=args.backend,
         num_workers=args.workers,
+        worker_addrs=args.worker_addr,
     )
     if args.model is not None and args.model != pipeline.model_name:
         raise ValueError(
@@ -443,9 +511,12 @@ def _run_serve(args) -> int:
     from .models.base import GraphHerbRecommender
     from .serving import MicroBatcher, RecommendationHandler, ServerStats, serve_lines
 
-    if isinstance(pipeline.model, GraphHerbRecommender):
-        pipeline.engine  # warm the propagation before taking traffic
     stats = ServerStats()
+    if isinstance(pipeline.model, GraphHerbRecommender):
+        engine = pipeline.engine  # warm the propagation before taking traffic
+        # `stats` control line reports the live topology: backend, shard
+        # count, worker liveness (remote workers are pinged per request)
+        stats.set_backend_info(engine.backend_status)
     handler = RecommendationHandler(pipeline, k=args.k, stats=stats)
     batcher = MicroBatcher(
         handler,
@@ -470,27 +541,23 @@ def _run_serve(args) -> int:
     except OSError as err:  # e.g. --port already in use / privileged
         print(f"error: {err}", file=sys.stderr)
         batcher.close(drain=False)
+        stats.set_backend_info(None)
+        pipeline.close()
         return 2
     batcher.close()
+    # report before closing: the topology probe must not reconnect to (or
+    # wait on) workers the close below is about to release
     print(stats.to_text(), file=sys.stderr)
+    stats.set_backend_info(None)
+    pipeline.close()  # release backend workers / shared memory / sockets
     return 0
 
 
-def _serve_socket(args, pipeline, batcher, stats, source) -> None:
-    """Run the TCP front-end until SIGINT/SIGTERM requests a shutdown."""
+def _wait_for_shutdown_signal() -> None:
+    """Block until SIGINT/SIGTERM (or KeyboardInterrupt under a test runner)."""
     import signal
     import threading
 
-    from .serving import SocketServer
-
-    server = SocketServer(batcher, stats=stats, host=args.host, port=args.port).start()
-    host, port = server.address
-    print(
-        f"listening on {host}:{port} ({pipeline.model_name}, {pipeline.scale}, {source}); "
-        "one symptom set per line, 'stats' for counters, SIGINT/SIGTERM to stop",
-        file=sys.stderr,
-        flush=True,
-    )
     shutdown = threading.Event()
     previous = {}
     try:
@@ -506,7 +573,48 @@ def _serve_socket(args, pipeline, batcher, stats, source) -> None:
     finally:
         for signum, old_handler in previous.items():
             signal.signal(signum, old_handler)
+
+
+def _serve_socket(args, pipeline, batcher, stats, source) -> None:
+    """Run the TCP front-end until SIGINT/SIGTERM requests a shutdown."""
+    from .serving import SocketServer
+
+    server = SocketServer(batcher, stats=stats, host=args.host, port=args.port).start()
+    host, port = server.address
+    print(
+        f"listening on {host}:{port} ({pipeline.model_name}, {pipeline.scale}, {source}); "
+        "one symptom set per line, 'stats' for counters, SIGINT/SIGTERM to stop",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        _wait_for_shutdown_signal()
+    finally:
         server.stop()
+
+
+def _run_shard_worker(args) -> int:
+    """Run one model-free shard-scoring worker until SIGINT/SIGTERM."""
+    from .inference.distributed import ShardWorkerServer
+
+    try:
+        server = ShardWorkerServer(host=args.host, port=args.port).start()
+    except OSError as err:  # e.g. --port already in use / privileged
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    print(
+        f"shard-worker listening on {host}:{port}; weights arrive as snapshots, "
+        "'stats' for counters, SIGINT/SIGTERM to stop",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        _wait_for_shutdown_signal()
+    finally:
+        server.stop()
+    print(server.stats.to_text(), file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -537,6 +645,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_predict(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "shard-worker":
+        return _run_shard_worker(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -131,15 +131,17 @@ def build_inference_engine(
     num_shards: int = 1,
     backend=None,
     num_workers: Optional[int] = None,
+    worker_addrs=None,
     **model_overrides,
 ) -> InferenceEngine:
     """Train a neural model on the profile's split and wrap it for serving.
 
     The returned engine is warmed up: the full-graph propagation has already
     run, so the first request is as fast as every other one.
-    ``num_shards``/``backend``/``num_workers`` select column-sharded scoring
-    and its compute backend (see :mod:`repro.inference.backends`); answers
-    are bit-identical across those settings.
+    ``num_shards``/``backend``/``num_workers``/``worker_addrs`` select
+    column-sharded scoring and its compute backend — in-process, process
+    pool, or remote shard workers (see :mod:`repro.inference.backends`);
+    answers are bit-identical across those settings.
     """
     model, _ = train_neural_model(
         name, scale=scale, trainer_config=trainer_config, seed=seed, **model_overrides
@@ -150,6 +152,7 @@ def build_inference_engine(
         num_shards=num_shards,
         backend=backend,
         num_workers=num_workers,
+        worker_addrs=worker_addrs,
     ).warm_up()
 
 

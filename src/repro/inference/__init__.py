@@ -10,29 +10,50 @@ matrix-multiply work.
 For vocabularies too large (or cores too many) for one contiguous matmul,
 :mod:`~repro.inference.sharding` cuts the herb matrix into tile-aligned
 column shards whose scores and top-k merges are bit-identical to the
-unsharded path, and :mod:`~repro.inference.backends` chooses how shard tasks
-execute (serial NumPy/BLAS, a thread pool, or anything registered via
-:func:`~repro.inference.backends.register_backend`).
+unsharded path.  Shard work travels as picklable
+:class:`~repro.inference.backends.ShardTask` values referencing immutable
+:class:`~repro.models.base.WeightSnapshot` exports, so a
+:class:`~repro.inference.backends.ComputeBackend` can place it anywhere:
+serial NumPy/BLAS, a thread pool, a process pool over shared memory, remote
+shard-worker servers (:mod:`~repro.inference.distributed`), or anything
+registered via :func:`~repro.inference.backends.register_backend`.
 """
 
 from .backends import (
     ComputeBackend,
     NumpyBackend,
+    ShardTask,
     ThreadPoolBackend,
     available_backends,
+    default_worker_count,
+    execute_shard_task,
     get_backend,
     register_backend,
 )
-from .engine import InferenceEngine, Recommendation
+from .distributed import (
+    ProcessPoolBackend,
+    RemoteBackend,
+    ShardWorkerHandler,
+    ShardWorkerServer,
+)
+from .engine import MAX_CACHED_INDEX_VERSIONS, InferenceEngine, Recommendation
 from .sharding import HerbShard, ShardedHerbIndex, merge_topk
 
 __all__ = [
     "InferenceEngine",
+    "MAX_CACHED_INDEX_VERSIONS",
     "Recommendation",
     "ComputeBackend",
     "NumpyBackend",
+    "ShardTask",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "RemoteBackend",
+    "ShardWorkerHandler",
+    "ShardWorkerServer",
     "available_backends",
+    "default_worker_count",
+    "execute_shard_task",
     "get_backend",
     "register_backend",
     "HerbShard",

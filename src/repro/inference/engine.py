@@ -15,17 +15,21 @@ Vocabulary size scales independently of request volume: with
 ``num_shards > 1`` the herb-embedding matrix is cut into tile-aligned column
 shards (:class:`~repro.inference.sharding.ShardedHerbIndex`) scored through a
 pluggable :class:`~repro.inference.backends.ComputeBackend` — serially by
-default, or fanned across a thread pool with ``backend="threads"`` — and
-top-k answers heap-merge per-shard candidates without ever materialising the
-full score matrix.  Sharded answers are bit-identical to the unsharded path
-(both run the same fixed scoring-tile grid and the same canonical ranking),
-so sharding is purely an operational knob.
+default, across a thread pool (``backend="threads"``), across worker
+processes attaching the weights via shared memory (``"processes"``), or
+fanned out to remote shard-worker servers (``"remote"`` +
+``worker_addrs``) — and top-k answers heap-merge per-shard candidates
+without ever materialising the full score matrix.  Sharded answers are
+bit-identical to the unsharded path (every backend runs the same fixed
+scoring-tile grid and the same canonical ranking), so sharding and backend
+placement are purely operational knobs.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,7 +38,17 @@ from ..models.base import GraphHerbRecommender
 from .backends import ComputeBackend, get_backend
 from .sharding import ShardedHerbIndex
 
-__all__ = ["InferenceEngine", "Recommendation"]
+__all__ = ["InferenceEngine", "Recommendation", "MAX_CACHED_INDEX_VERSIONS"]
+
+#: How many parameter versions of the shard index the engine keeps.  Serving
+#: only ever scores against the latest version; one predecessor is kept so
+#: requests already in flight against the old index finish against live
+#: arrays while the new version builds.  Anything older is evicted and its
+#: snapshot released from the backend — without the bound, a long-lived
+#: server interleaving training and serving would accumulate one full herb
+#: matrix (plus backend attachments: shared-memory segments, remote pushes)
+#: per optimiser step.
+MAX_CACHED_INDEX_VERSIONS = 2
 
 
 @dataclass(frozen=True)
@@ -52,9 +66,10 @@ class InferenceEngine:
     """Serve herb scores and top-k recommendations from cached embeddings.
 
     ``num_shards``/``backend`` select the sharded scoring path: ``backend``
-    accepts a registered name (``"numpy"``, ``"threads"``) or a
-    :class:`~repro.inference.backends.ComputeBackend` instance, and
-    ``num_workers`` sizes the ``"threads"`` pool.  With the default
+    accepts a registered name (``"numpy"``, ``"threads"``, ``"processes"``,
+    ``"remote"``) or a :class:`~repro.inference.backends.ComputeBackend`
+    instance; ``num_workers`` sizes the pooled backends and ``worker_addrs``
+    lists the ``host:port`` shard workers for ``"remote"``.  With the default
     ``num_shards=1`` everything flows through ``model.score_sets`` unchanged.
     """
 
@@ -65,6 +80,7 @@ class InferenceEngine:
         num_shards: int = 1,
         backend: Union[str, ComputeBackend, None] = None,
         num_workers: Optional[int] = None,
+        worker_addrs: Optional[Sequence[str]] = None,
     ) -> None:
         if not isinstance(model, GraphHerbRecommender):
             raise TypeError(
@@ -77,14 +93,16 @@ class InferenceEngine:
         self.model = model
         self.batch_size = batch_size
         self.num_shards = num_shards
-        self.backend = get_backend(backend, num_workers=num_workers)
+        self.backend = get_backend(backend, num_workers=num_workers, worker_addrs=worker_addrs)
         # The sharded fast path re-implements only the *base* scoring recipe
         # (encode_syndrome + tile matmuls).  A subclass that overrides
         # score_sets defines its own notion of a score, so sharding must
         # defer to it rather than silently serve different answers.
         self._base_scoring = type(model).score_sets is GraphHerbRecommender.score_sets
-        self._index: Optional[ShardedHerbIndex] = None
-        self._index_version: Optional[Tuple[int, int]] = None
+        #: parameter version -> shard index; bounded LRU (see
+        #: :data:`MAX_CACHED_INDEX_VERSIONS`), evictions release the
+        #: snapshot's backend attachments.
+        self._index_cache: "OrderedDict[Tuple[int, int], ShardedHerbIndex]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Cache handling
@@ -114,19 +132,51 @@ class InferenceEngine:
         return self
 
     def close(self) -> None:
-        """Release backend workers (a no-op for the serial default)."""
+        """Release backend workers and attachments (a no-op for the serial default)."""
+        while self._index_cache:
+            _, stale = self._index_cache.popitem(last=False)
+            self.backend.release_snapshot(stale.snapshot.key)
         self.backend.close()
 
     def herb_index(self) -> ShardedHerbIndex:
-        """The column-sharded herb matrix, rebuilt when the model's parameters
-        change (same staleness fingerprint as the propagation cache)."""
+        """The column-sharded herb matrix for the model's *current* parameters.
+
+        Cached per parameter version (the same staleness fingerprint as the
+        propagation cache) in a bounded LRU: weight updates produce new
+        versions, and entries beyond :data:`MAX_CACHED_INDEX_VERSIONS` are
+        evicted with their weight snapshots released from the backend — so
+        the cache cannot grow across training/serving cycles.
+        """
+        # keyed by the pre-build version: a parameter bump landing mid-build
+        # must leave the new index looking stale, not fresh
         version = self.model.parameter_version()
-        if self._index is None or self._index_version != version:
-            self._index = ShardedHerbIndex.from_model(self.model, num_shards=self.num_shards)
-            # tag with the pre-build snapshot: a parameter bump landing
-            # mid-build must leave the index looking stale, not fresh
-            self._index_version = version
-        return self._index
+        index = self._index_cache.get(version)
+        if index is None:
+            index = ShardedHerbIndex.from_model(self.model, num_shards=self.num_shards)
+            self._index_cache[version] = index
+            while len(self._index_cache) > MAX_CACHED_INDEX_VERSIONS:
+                _, stale = self._index_cache.popitem(last=False)
+                self.backend.release_snapshot(stale.snapshot.key)
+        else:
+            self._index_cache.move_to_end(version)
+        return index
+
+    def backend_status(self) -> Dict[str, Any]:
+        """Topology/liveness for the serving ``stats`` line.
+
+        Reports the active backend's own status (name, worker counts — a
+        remote backend pings its shard workers) plus the effective shard
+        count: the built index's if one exists, otherwise the configured
+        request, or 1 when sharding is inactive for this model.
+        """
+        status = dict(self.backend.status())
+        if not self.sharding_active:
+            status["shards"] = 1
+        elif self._index_cache:
+            status["shards"] = next(reversed(self._index_cache.values())).num_shards
+        else:
+            status["shards"] = self.num_shards
+        return status
 
     @property
     def embeddings(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -3,9 +3,12 @@
 One dense ``(num_sets, dim) @ (dim, num_herbs)`` matmul caps the servable
 vocabulary at what fits in a single contiguous matrix.
 :class:`ShardedHerbIndex` removes that cap: it cuts the herb-embedding matrix
-into column shards, scores each shard independently (optionally in parallel —
-see :mod:`repro.inference.backends`), and merges the per-shard top-k
-candidates with the heap-based :func:`merge_topk`.
+into column shards, turns each scoring request into picklable
+:class:`~repro.inference.backends.ShardTask`\\ s against an immutable
+:class:`~repro.models.base.WeightSnapshot` (so shards can execute in-process,
+in a process pool, or on remote shard workers — see
+:mod:`repro.inference.backends` and :mod:`repro.inference.distributed`), and
+merges the per-shard top-k candidates with the heap-based :func:`merge_topk`.
 
 Two invariants make the sharded results *bit-identical* to the unsharded
 path, not merely close:
@@ -15,7 +18,7 @@ path, not merely close:
    through the same fixed ``(SCORING_BLOCK, dim) @ (dim, HERB_BLOCK)`` tile
    grid as the unsharded :meth:`~repro.models.base.GraphHerbRecommender.
    score_sets` — so each score is produced by literally the same sequence of
-   floating-point operations in both paths.
+   floating-point operations in both paths, wherever the task executes.
 2. **Canonical ranking.**  :func:`~repro.evaluation.metrics.top_k_indices`
    orders by (score descending, herb id ascending).  Per-shard candidates are
    selected under that same order, so a k-way heap merge on
@@ -27,44 +30,35 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..models.base import HERB_BLOCK, SCORING_BLOCK, score_herb_tiles
-from .backends import ComputeBackend, NumpyBackend
+from ..models.base import HERB_BLOCK, WeightSnapshot
+from .backends import ComputeBackend, NumpyBackend, ShardTask
 
 __all__ = ["HerbShard", "ShardedHerbIndex", "merge_topk"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class HerbShard:
-    """One contiguous column shard of the herb-embedding matrix."""
+    """One contiguous column shard of the herb-embedding matrix.
+
+    Pure layout metadata plus a zero-copy view into the snapshot — the
+    weights themselves live in the :class:`~repro.models.base.WeightSnapshot`
+    that shard tasks reference by key.
+    """
 
     index: int
     #: Global herb-id interval ``[start, stop)`` this shard scores.
     start: int
     stop: int
-    #: ``(stop - start, dim)`` slice of the herb embeddings (C-contiguous copy).
+    #: ``(stop - start, dim)`` read-only view into the snapshot (no copy).
     matrix: np.ndarray = field(repr=False)
 
     @property
     def width(self) -> int:
         return self.stop - self.start
-
-
-def _shard_topk(scores: np.ndarray, start: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-row top-``k`` of one shard's score block, in the canonical order.
-
-    ``scores`` is ``(rows, width)`` for global herb ids ``start..start+width``.
-    Returns ``(global_ids, values)``, each ``(rows, min(k, width))``, rows
-    sorted by (score desc, id asc) — the same stable order
-    ``top_k_indices`` uses, which :func:`merge_topk` relies on.
-    """
-    k = min(k, scores.shape[1])
-    local = np.argsort(-scores, axis=1, kind="stable")[:, :k]
-    rows = np.arange(scores.shape[0])[:, None]
-    return local + start, scores[rows, local]
 
 
 def merge_topk(
@@ -123,27 +117,37 @@ def merge_topk(
 class ShardedHerbIndex:
     """The herb-embedding matrix cut into tile-aligned column shards.
 
-    ``num_shards`` is a request, not a promise: it is clamped to the number
-    of :data:`~repro.models.base.HERB_BLOCK` tiles the vocabulary spans (a
+    Built from a :class:`~repro.models.base.WeightSnapshot` (or a bare
+    matrix, which gets wrapped into an anonymous snapshot).  ``num_shards``
+    is a request, not a promise: it is clamped to the number of
+    :data:`~repro.models.base.HERB_BLOCK` tiles the vocabulary spans (a
     shard smaller than one tile would break the fixed-tile determinism
     guarantee), and tiles are dealt to shards as evenly as possible.
     """
 
     def __init__(
         self,
-        herb_embeddings: np.ndarray,
+        source: Union[np.ndarray, WeightSnapshot],
         num_shards: int = 1,
-        row_block: int = SCORING_BLOCK,
+        row_block: Optional[int] = None,
     ) -> None:
-        if herb_embeddings.ndim != 2 or herb_embeddings.shape[0] == 0:
+        if isinstance(source, WeightSnapshot):
+            snapshot = source
+        else:
+            matrix = np.asarray(source)
+            if matrix.ndim != 2 or matrix.shape[0] == 0:
+                raise ValueError("herb_embeddings must be a non-empty (num_herbs, dim) matrix")
+            snapshot = WeightSnapshot.from_matrix(matrix)
+        if snapshot.herb_embeddings.ndim != 2 or snapshot.herb_embeddings.shape[0] == 0:
             raise ValueError("herb_embeddings must be a non-empty (num_herbs, dim) matrix")
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        if row_block <= 0:
+        if row_block is not None and row_block <= 0:
             raise ValueError("row_block must be positive")
-        self.num_herbs = int(herb_embeddings.shape[0])
-        self.dim = int(herb_embeddings.shape[1])
-        self.row_block = int(row_block)
+        self.snapshot = snapshot
+        self.num_herbs = snapshot.num_herbs
+        self.dim = snapshot.dim
+        self.row_block = int(row_block) if row_block is not None else int(snapshot.row_block)
         num_tiles = -(-self.num_herbs // HERB_BLOCK)
         actual = min(num_shards, num_tiles)
         base, extra = divmod(num_tiles, actual)
@@ -159,30 +163,41 @@ class ShardedHerbIndex:
                     index=index,
                     start=start,
                     stop=stop,
-                    matrix=np.ascontiguousarray(herb_embeddings[start:stop]),
+                    matrix=snapshot.herb_embeddings[start:stop],
                 )
             )
         self.shards: Tuple[HerbShard, ...] = tuple(shards)
 
     @classmethod
     def from_model(cls, model, num_shards: int = 1) -> "ShardedHerbIndex":
-        """Build from a model's cached propagation (triggering it if stale)."""
-        _, herb_embeddings = model.cached_encode()
-        return cls(
-            herb_embeddings,
-            num_shards=num_shards,
-            row_block=max(1, int(model.scoring_block)),
-        )
+        """Build from a model's snapshot export (triggering propagation if stale)."""
+        return cls(model.export_snapshot(), num_shards=num_shards)
 
     @property
     def num_shards(self) -> int:
         return len(self.shards)
 
     # ------------------------------------------------------------------
-    # Scoring
+    # Task construction + scoring
     # ------------------------------------------------------------------
-    def _score_shard(self, syndrome: np.ndarray, shard: HerbShard) -> np.ndarray:
-        return score_herb_tiles(syndrome, shard.matrix, row_block=self.row_block)
+    def tasks(
+        self, syndrome: np.ndarray, op: str, num_rows: int = 0, k: int = 0
+    ) -> List[ShardTask]:
+        """One picklable :class:`~repro.inference.backends.ShardTask` per shard."""
+        return [
+            ShardTask(
+                op=op,
+                shard_index=shard.index,
+                start=shard.start,
+                stop=shard.stop,
+                snapshot_key=self.snapshot.key,
+                row_block=self.row_block,
+                num_rows=num_rows,
+                syndrome=syndrome,
+                k=k,
+            )
+            for shard in self.shards
+        ]
 
     def score(
         self, syndrome: np.ndarray, backend: Optional[ComputeBackend] = None
@@ -195,7 +210,9 @@ class ShardedHerbIndex:
         tile consumers keep the fixed shapes.
         """
         backend = backend if backend is not None else NumpyBackend()
-        pieces = backend.map(lambda shard: self._score_shard(syndrome, shard), self.shards)
+        pieces = backend.run_tasks(
+            self.snapshot, self.tasks(syndrome, "score", num_rows=syndrome.shape[0])
+        )
         return np.hstack(pieces)
 
     def topk(
@@ -210,8 +227,10 @@ class ShardedHerbIndex:
         Each shard task scores its columns *and* reduces them to its local
         top-k before returning, so peak memory per task is
         ``rows × shard_width`` scores plus ``rows × k`` candidates — the
-        full ``rows × num_herbs`` matrix never exists.  Candidates then
-        heap-merge into the canonical global ranking (see :func:`merge_topk`).
+        full ``rows × num_herbs`` matrix never exists (and, on the remote
+        backend, only the small candidate lists cross the wire back).
+        Candidates then heap-merge into the canonical global ranking (see
+        :func:`merge_topk`).
 
         ``num_rows`` trims the row padding; returns ``(ids, scores)`` of
         shape ``(num_rows, min(k, num_herbs))``.
@@ -219,12 +238,9 @@ class ShardedHerbIndex:
         if k <= 0:
             raise ValueError("k must be positive")
         backend = backend if backend is not None else NumpyBackend()
-
-        def score_and_select(shard: HerbShard) -> Tuple[np.ndarray, np.ndarray]:
-            scores = self._score_shard(syndrome, shard)[:num_rows]
-            return _shard_topk(scores, shard.start, k)
-
-        candidates = backend.map(score_and_select, self.shards)
+        candidates = backend.run_tasks(
+            self.snapshot, self.tasks(syndrome, "topk", num_rows=num_rows, k=k)
+        )
         shard_ids = [ids for ids, _ in candidates]
         shard_scores = [scores for _, scores in candidates]
         return merge_topk(shard_ids, shard_scores, k)

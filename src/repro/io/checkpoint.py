@@ -20,10 +20,11 @@ was trained against.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +39,10 @@ __all__ = [
     "load_checkpoint",
     "read_checkpoint_header",
     "vocab_fingerprint",
+    "pack_npz_bytes",
+    "unpack_npz_bytes",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
 ]
 
 CHECKPOINT_FORMAT_VERSION = 1
@@ -48,6 +53,84 @@ _STATE_PREFIX = "state/"
 
 class CheckpointError(RuntimeError):
     """A checkpoint cannot be written or (safely) loaded."""
+
+
+# ----------------------------------------------------------------------
+# The shared npz codec: one JSON header member + named arrays.
+#
+# Checkpoint files, weight-snapshot wire frames and shard-task frames
+# (repro.inference.distributed) are all the same physical format, so a
+# single pack/unpack pair is the only place that knows how headers and
+# arrays share a bundle.
+# ----------------------------------------------------------------------
+def pack_npz_bytes(header: Mapping[str, Any], arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialize ``header`` (JSON-able) plus named arrays into one npz blob."""
+    if _HEADER_KEY in arrays:
+        raise CheckpointError(f"array name {_HEADER_KEY!r} is reserved for the header")
+    payload: Dict[str, np.ndarray] = {_HEADER_KEY: np.array(json.dumps(dict(header), sort_keys=True))}
+    for name, value in arrays.items():
+        payload[name] = np.asarray(value)
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def unpack_npz_bytes(data: bytes) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Invert :func:`pack_npz_bytes`; returns ``(header, arrays)``."""
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as bundle:
+            if _HEADER_KEY not in bundle:
+                raise CheckpointError("not a repro npz bundle (missing header)")
+            try:
+                header = json.loads(str(bundle[_HEADER_KEY][()]))
+            except json.JSONDecodeError as error:
+                raise CheckpointError(f"corrupt npz bundle header: {error}") from error
+            arrays = {key: bundle[key] for key in bundle.files if key != _HEADER_KEY}
+    except (OSError, ValueError) as error:
+        raise CheckpointError(f"corrupt npz bundle: {error}") from error
+    return header, arrays
+
+
+_SNAPSHOT_KIND = "weight-snapshot"
+
+
+def snapshot_to_bytes(snapshot) -> bytes:
+    """Wire/disk form of a :class:`~repro.models.base.WeightSnapshot`.
+
+    The same npz codec the checkpoints use, so a serialized snapshot is
+    inspectable with the same tooling; this is what crosses the TCP link to
+    remote shard workers.
+    """
+    header = {
+        "kind": _SNAPSHOT_KIND,
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "key": snapshot.key,
+        "version": [int(v) for v in snapshot.version],
+        "row_block": int(snapshot.row_block),
+    }
+    return pack_npz_bytes(header, {"herb_embeddings": snapshot.herb_embeddings})
+
+
+def snapshot_from_bytes(data: bytes):
+    """Rebuild a :class:`~repro.models.base.WeightSnapshot` from its wire form."""
+    from ..models.base import WeightSnapshot
+
+    header, arrays = unpack_npz_bytes(data)
+    if header.get("kind") != _SNAPSHOT_KIND:
+        raise CheckpointError(
+            f"expected a {_SNAPSHOT_KIND!r} bundle, got kind={header.get('kind')!r}"
+        )
+    if "herb_embeddings" not in arrays:
+        raise CheckpointError("weight-snapshot bundle misses the herb_embeddings array")
+    try:
+        return WeightSnapshot.from_matrix(
+            arrays["herb_embeddings"],
+            row_block=int(header["row_block"]),
+            version=tuple(int(v) for v in header["version"]),
+            key=str(header["key"]),
+        )
+    except KeyError as error:
+        raise CheckpointError(f"weight-snapshot header misses field {error}") from error
 
 
 def vocab_fingerprint(vocab) -> str:
@@ -75,8 +158,8 @@ class CheckpointHeader:
     herb_vocab_fingerprint: str
     state_keys: Tuple[str, ...]
 
-    def to_json(self) -> str:
-        payload = {
+    def to_payload(self) -> Dict[str, Any]:
+        return {
             "format_version": self.format_version,
             "model_name": self.model_name,
             "model_class": self.model_class,
@@ -88,7 +171,9 @@ class CheckpointHeader:
             "herb_vocab_fingerprint": self.herb_vocab_fingerprint,
             "state_keys": list(self.state_keys),
         }
-        return json.dumps(payload, sort_keys=True)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "CheckpointHeader":
@@ -171,12 +256,10 @@ def save_checkpoint(
         state_keys=tuple(sorted(state)),
     )
     arrays = {_STATE_PREFIX + key: np.asarray(value) for key, value in state.items()}
-    arrays[_HEADER_KEY] = np.array(header.to_json())
     path = Path(path)
     if path.parent and not path.parent.exists():
         path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        np.savez(handle, **arrays)
+    path.write_bytes(pack_npz_bytes(header.to_payload(), arrays))
     return path
 
 

@@ -16,6 +16,8 @@ scores, from which top-k recommendations and the ranking metrics follow.
 from __future__ import annotations
 
 import abc
+import itertools
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +27,7 @@ from ..nn import Module, Tensor, no_grad
 __all__ = [
     "HerbRecommender",
     "GraphHerbRecommender",
+    "WeightSnapshot",
     "SCORING_BLOCK",
     "HERB_BLOCK",
     "score_herb_tiles",
@@ -106,6 +109,63 @@ def score_herb_tiles(
     if not column_tiles:
         return np.zeros((syndrome.shape[0], 0), dtype=np.float64)
     return column_tiles[0] if len(column_tiles) == 1 else np.hstack(column_tiles)
+
+
+#: Process-wide counter behind snapshot keys: two snapshots never share a key
+#: unless they genuinely are the same export of the same model state.
+_SNAPSHOT_TAGS = itertools.count(1)
+
+
+@dataclass(frozen=True, eq=False)
+class WeightSnapshot:
+    """An immutable, parameter-version-stamped export of the scoring weights.
+
+    This is the unit of weight distribution: shard tasks
+    (:class:`~repro.inference.backends.ShardTask`) never carry weights
+    themselves — they reference a snapshot by ``key``, and a compute backend
+    is responsible for making the snapshot's ``herb_embeddings`` available
+    wherever tasks execute (in-process by reference, across processes via
+    shared memory, across machines via the ``.npz`` wire codec in
+    :mod:`repro.io.checkpoint`).
+
+    ``key`` is unique per (model instance, parameter version): any optimiser
+    step or ``load_state_dict`` bumps the parameter version, so a new export
+    gets a new key and every cached attachment of the old one is identifiable
+    as stale.  The embedding matrix is a **read-only view** of the model's
+    cached propagation — exporting is zero-copy.
+    """
+
+    key: str
+    #: The exporting model's ``parameter_version()`` fingerprint.
+    version: Tuple[int, int]
+    #: ``(num_herbs, dim)`` read-only, C-contiguous, float64.
+    herb_embeddings: np.ndarray = field(repr=False)
+    #: The exporting model's fixed scoring row block (see :data:`SCORING_BLOCK`).
+    row_block: int = SCORING_BLOCK
+
+    @property
+    def num_herbs(self) -> int:
+        return int(self.herb_embeddings.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.herb_embeddings.shape[1])
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        row_block: int = SCORING_BLOCK,
+        version: Tuple[int, int] = (0, 0),
+        key: Optional[str] = None,
+    ) -> "WeightSnapshot":
+        """Wrap a bare herb-embedding matrix (benchmarks, tests, raw arrays)."""
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        view = matrix.view()
+        view.flags.writeable = False
+        if key is None:
+            key = f"anon{next(_SNAPSHOT_TAGS)}-v{version[0]}.{version[1]}"
+        return cls(key=key, version=tuple(version), herb_embeddings=view, row_block=row_block)
 
 
 class HerbRecommender(abc.ABC):
@@ -239,6 +299,29 @@ class GraphHerbRecommender(Module, HerbRecommender):
         if self._encode_cache is not None and self._encode_cache_version == self.parameter_version():
             return self._encode_cache
         return self.precompute()
+
+    def export_snapshot(self) -> "WeightSnapshot":
+        """Zero-copy, parameter-version-stamped export of the scoring weights.
+
+        Returns a :class:`WeightSnapshot` whose ``herb_embeddings`` is a
+        read-only view of the cached propagation (refreshed here if stale) —
+        no copy is made.  ``precompute`` always allocates fresh arrays, so a
+        snapshot stays valid and immutable even after the model trains on:
+        later exports see new arrays under new keys, never mutations of this
+        one.
+        """
+        _, herb_embeddings = self.cached_encode()
+        version = self.parameter_version()
+        if not hasattr(self, "_snapshot_tag"):
+            object.__setattr__(self, "_snapshot_tag", next(_SNAPSHOT_TAGS))
+        view = herb_embeddings.view()
+        view.flags.writeable = False
+        return WeightSnapshot(
+            key=f"m{self._snapshot_tag}-v{version[0]}.{version[1]}",
+            version=version,
+            herb_embeddings=view,
+            row_block=max(1, int(self.scoring_block)),
+        )
 
     @property
     def propagation_count(self) -> int:

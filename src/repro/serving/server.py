@@ -122,6 +122,17 @@ class SocketServer:
             self._closed = True
             connections = list(self._connections)
         if self._listener is not None:
+            # shutdown() before close(): on Linux, closing a listening socket
+            # does NOT wake a thread blocked in accept() (the in-flight
+            # syscall pins the kernel socket), so the accept thread would
+            # otherwise sit out the full join timeout below on every
+            # shutdown.  shutdown() aborts the blocked accept immediately;
+            # platforms where it raises (ENOTCONN on the BSDs) wake on
+            # close() alone.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:

@@ -3,13 +3,20 @@
 Every front-end (stdin, socket) and the :class:`~repro.serving.batcher.MicroBatcher`
 share one :class:`ServerStats`; the CLI reports it on shutdown and the socket
 protocol exposes it live via the ``stats`` control line.
+
+Beyond the counters, a stats object can carry a **backend-info provider**
+(:meth:`ServerStats.set_backend_info`): a callable returning the serving
+topology — active compute backend, shard count, worker liveness (see
+:meth:`~repro.inference.engine.InferenceEngine.backend_status`).  It is
+invoked per ``stats`` request, so the reported liveness is current, not a
+startup snapshot.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Dict
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -32,6 +39,43 @@ class ServerStats:
         self._batches = 0
         self._batched_requests = 0
         self._latencies_s = deque(maxlen=max_samples)
+        self._backend_info: Optional[Callable[[], Dict[str, Any]]] = None
+
+    # ------------------------------------------------------------------
+    # Backend topology
+    # ------------------------------------------------------------------
+    def set_backend_info(self, provider: Optional[Callable[[], Dict[str, Any]]]) -> None:
+        """Attach a callable reporting the serving topology (backend, shards,
+        worker liveness).  Pass ``None`` to detach."""
+        self._backend_info = provider
+
+    def backend_info(self) -> Dict[str, Any]:
+        """The provider's current view, or ``{}`` (also when the provider
+        itself fails — stats must never take down a stats request)."""
+        provider = self._backend_info
+        if provider is None:
+            return {}
+        try:
+            return dict(provider())
+        except Exception:  # noqa: BLE001 — reporting must stay harmless
+            return {}
+
+    def _backend_suffix(self) -> str:
+        info = self.backend_info()
+        if not info:
+            return ""
+        parts = []
+        if "backend" in info:
+            parts.append(f"backend={info['backend']}")
+        if "shards" in info:
+            parts.append(f"shards={info['shards']}")
+        if "workers" in info:
+            alive = info.get("workers_alive", info["workers"])
+            parts.append(f"workers_alive={alive}/{info['workers']}")
+        for key, value in info.items():
+            if key not in ("backend", "shards", "workers", "workers_alive", "worker_addrs"):
+                parts.append(f"{key}={value}")
+        return " " + " ".join(parts) if parts else ""
 
     # ------------------------------------------------------------------
     # Recording
@@ -103,24 +147,32 @@ class ServerStats:
             }
 
     def to_line(self) -> str:
-        """Single-line summary — the socket protocol's ``stats`` response."""
+        """Single-line summary — the socket protocol's ``stats`` response.
+
+        With a backend-info provider attached, the counters are followed by
+        the serving topology, e.g.
+        ``... p95_ms=1.2 backend=processes shards=4 workers_alive=4/4``.
+        """
         view = self.snapshot()
         return (
             f"requests={view['requests']:.0f} errors={view['errors']:.0f} "
             f"batches={view['batches']:.0f} mean_batch={view['mean_batch_size']:.2f} "
             f"p50_ms={view['p50_ms']:.3f} p95_ms={view['p95_ms']:.3f}"
+            f"{self._backend_suffix()}"
         )
 
     def to_text(self) -> str:
         """Multi-line summary, printed by the CLI on shutdown."""
         view = self.snapshot()
-        return "\n".join(
-            [
-                "serving stats:",
-                f"  requests         {view['requests']:.0f} ({view['errors']:.0f} errors)",
-                f"  batches          {view['batches']:.0f}",
-                f"  mean batch size  {view['mean_batch_size']:.2f}",
-                f"  latency p50      {view['p50_ms']:.3f} ms",
-                f"  latency p95      {view['p95_ms']:.3f} ms",
-            ]
-        )
+        lines = [
+            "serving stats:",
+            f"  requests         {view['requests']:.0f} ({view['errors']:.0f} errors)",
+            f"  batches          {view['batches']:.0f}",
+            f"  mean batch size  {view['mean_batch_size']:.2f}",
+            f"  latency p50      {view['p50_ms']:.3f} ms",
+            f"  latency p95      {view['p95_ms']:.3f} ms",
+        ]
+        suffix = self._backend_suffix()
+        if suffix:
+            lines.append(f"  topology        {suffix.strip()}")
+        return "\n".join(lines)

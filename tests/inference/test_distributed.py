@@ -1,0 +1,443 @@
+"""Tests for distributed shard execution: process pool, RPC workers, codecs.
+
+Three layers under test:
+
+* the **wire codec** — snapshot/task/result frames round-trip through the
+  npz codec checkpoints use;
+* the **backends** — ``processes`` (shared-memory snapshots) and ``remote``
+  (TCP shard workers) are bit-identical to the serial ``numpy`` path,
+  including at the engine level across every registered neural model;
+* the **lifecycle edges** — idempotent ``close``, use-after-close re-open,
+  reusable context managers, and worker death surfacing as a clean
+  ``RuntimeError`` rather than a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    InferenceEngine,
+    NumpyBackend,
+    ProcessPoolBackend,
+    RemoteBackend,
+    ShardedHerbIndex,
+)
+from repro.inference.backends import ShardTask
+from repro.inference.distributed import (
+    ShardWorkerHandler,
+    ShardWorkerServer,
+    parse_worker_addr,
+    result_from_bytes,
+    result_to_bytes,
+    results_from_bytes,
+    results_to_bytes,
+    task_from_bytes,
+    task_to_bytes,
+    tasks_from_bytes,
+    tasks_to_bytes,
+)
+from repro.io.checkpoint import CheckpointError, snapshot_from_bytes, snapshot_to_bytes
+from repro.models.base import SCORING_BLOCK, WeightSnapshot, _pad_rows
+
+DIM = 16
+NUM_HERBS = 700
+NUM_ROWS = 9
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    rng = np.random.default_rng(21)
+    return WeightSnapshot.from_matrix(rng.normal(size=(NUM_HERBS, DIM)))
+
+
+@pytest.fixture(scope="module")
+def syndrome():
+    rng = np.random.default_rng(22)
+    return _pad_rows(rng.normal(size=(NUM_ROWS, DIM)), SCORING_BLOCK)
+
+
+@pytest.fixture(scope="module")
+def index(snapshot):
+    return ShardedHerbIndex(snapshot, num_shards=3)
+
+
+@pytest.fixture(scope="module")
+def reference(index, syndrome):
+    scores = index.score(syndrome)
+    ids, topk_scores = index.topk(syndrome, NUM_ROWS, 25)
+    return scores, ids, topk_scores
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    backend = ProcessPoolBackend(num_workers=2)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def worker_servers():
+    with ShardWorkerServer() as first, ShardWorkerServer() as second:
+        yield first, second
+
+
+@pytest.fixture()
+def remote_backend(worker_servers):
+    addrs = [f"{host}:{port}" for host, port in (s.address for s in worker_servers)]
+    backend = RemoteBackend(worker_addrs=addrs, timeout_s=10.0)
+    yield backend
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+class TestWireCodec:
+    def test_snapshot_round_trip(self, snapshot):
+        clone = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+        assert clone.key == snapshot.key
+        assert clone.version == snapshot.version
+        assert clone.row_block == snapshot.row_block
+        np.testing.assert_array_equal(clone.herb_embeddings, snapshot.herb_embeddings)
+
+    def test_task_round_trip(self, snapshot, syndrome):
+        task = ShardTask(
+            op="topk",
+            shard_index=2,
+            start=256,
+            stop=700,
+            snapshot_key=snapshot.key,
+            row_block=SCORING_BLOCK,
+            num_rows=NUM_ROWS,
+            syndrome=syndrome,
+            k=13,
+        )
+        clone = task_from_bytes(task_to_bytes(task))
+        for attr in ("op", "shard_index", "start", "stop", "snapshot_key", "row_block", "num_rows", "k"):
+            assert getattr(clone, attr) == getattr(task, attr)
+        np.testing.assert_array_equal(clone.syndrome, syndrome)
+
+    def test_result_round_trips_both_ops(self):
+        block = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(result_from_bytes(result_to_bytes("score", block)), block)
+        ids = np.array([[3, 1]], dtype=np.int64)
+        scores = np.array([[2.0, 1.0]])
+        out_ids, out_scores = result_from_bytes(result_to_bytes("topk", (ids, scores)))
+        np.testing.assert_array_equal(out_ids, ids)
+        np.testing.assert_array_equal(out_scores, scores)
+
+    def test_task_batch_round_trip_deduplicates_syndromes(self, snapshot, syndrome, index):
+        batch = index.tasks(syndrome, "topk", num_rows=NUM_ROWS, k=9)
+        data = tasks_to_bytes(batch)
+        # the shared syndrome block is stored once, however many shards ride along
+        from repro.io.checkpoint import unpack_npz_bytes
+
+        _, arrays = unpack_npz_bytes(data)
+        assert sum(1 for name in arrays if name.startswith("syndrome")) == 1
+        clones = tasks_from_bytes(data)
+        assert len(clones) == len(batch)
+        for clone, task in zip(clones, batch):
+            assert (clone.start, clone.stop, clone.op, clone.k) == (
+                task.start,
+                task.stop,
+                task.op,
+                task.k,
+            )
+            np.testing.assert_array_equal(clone.syndrome, syndrome)
+
+    def test_result_batch_round_trips_mixed_ops(self):
+        block = np.arange(8.0).reshape(2, 4)
+        ids = np.array([[5, 2]], dtype=np.int64)
+        scores = np.array([[3.0, 1.0]])
+        payload = results_to_bytes(["score", "topk"], [block, (ids, scores)])
+        out = results_from_bytes(payload)
+        np.testing.assert_array_equal(out[0], block)
+        np.testing.assert_array_equal(out[1][0], ids)
+        np.testing.assert_array_equal(out[1][1], scores)
+
+    def test_kind_mismatch_refused(self, snapshot, syndrome):
+        with pytest.raises(CheckpointError, match="shard-task"):
+            task_from_bytes(snapshot_to_bytes(snapshot))
+        with pytest.raises(CheckpointError, match="weight-snapshot"):
+            snapshot_from_bytes(result_to_bytes("score", syndrome))
+
+    def test_parse_worker_addr(self):
+        assert parse_worker_addr("localhost:7801") == ("localhost", 7801)
+        assert parse_worker_addr(("10.0.0.1", 80)) == ("10.0.0.1", 80)
+        for bad in ("no-port", "host:notaport", "host:0", "host:70000", ":123"):
+            with pytest.raises(ValueError):
+                parse_worker_addr(bad)
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+class TestProcessPoolBackend:
+    def test_score_and_topk_bit_identical(self, index, syndrome, reference, process_backend):
+        ref_scores, ref_ids, ref_topk = reference
+        np.testing.assert_array_equal(index.score(syndrome, backend=process_backend), ref_scores)
+        ids, scores = index.topk(syndrome, NUM_ROWS, 25, backend=process_backend)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_topk)
+
+    def test_snapshot_published_once_per_version(self, index, syndrome, process_backend):
+        index.score(syndrome, backend=process_backend)
+        segments = dict(process_backend._segments)
+        index.score(syndrome, backend=process_backend)
+        assert dict(process_backend._segments) == segments, "re-published an attached snapshot"
+        assert index.snapshot.key in segments
+
+    def test_release_snapshot_is_idempotent(self, index, syndrome):
+        backend = ProcessPoolBackend(num_workers=1)
+        try:
+            backend.run_tasks(index.snapshot, index.tasks(syndrome, "score", num_rows=NUM_ROWS))
+            assert index.snapshot.key in backend._segments
+            backend.release_snapshot(index.snapshot.key)
+            backend.release_snapshot(index.snapshot.key)
+            assert index.snapshot.key not in backend._segments
+        finally:
+            backend.close()
+
+    def test_stale_versions_evicted_on_publish(self, syndrome):
+        backend = ProcessPoolBackend(num_workers=1)
+        try:
+            keys = []
+            for seed in range(3):
+                rng = np.random.default_rng(seed)
+                index = ShardedHerbIndex(rng.normal(size=(NUM_HERBS, DIM)), num_shards=2)
+                index.score(syndrome, backend=backend)
+                keys.append(index.snapshot.key)
+            assert len(backend._segments) == 2, "published snapshots must stay bounded"
+            assert keys[0] not in backend._segments  # oldest version retired
+            assert keys[-1] in backend._segments
+        finally:
+            backend.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ProcessPoolBackend(num_workers=0)
+        with pytest.raises(ValueError, match="remote"):
+            ProcessPoolBackend(worker_addrs=["127.0.0.1:1"])
+
+    def test_lifecycle_close_reopen_context(self, index, syndrome, reference):
+        ref_scores = reference[0]
+        backend = ProcessPoolBackend(num_workers=1)
+        np.testing.assert_array_equal(index.score(syndrome, backend=backend), ref_scores)
+        backend.close()
+        backend.close()  # idempotent
+        # use-after-close re-opens (fresh pool, re-published snapshot)
+        np.testing.assert_array_equal(index.score(syndrome, backend=backend), ref_scores)
+        backend.close()
+        for _ in range(2):  # context manager is reusable
+            with backend:
+                np.testing.assert_array_equal(index.score(syndrome, backend=backend), ref_scores)
+
+    def test_worker_death_raises_cleanly_and_recovers(self, index, syndrome, reference):
+        backend = ProcessPoolBackend(num_workers=1)
+        try:
+            backend.run_tasks(index.snapshot, index.tasks(syndrome, "score", num_rows=NUM_ROWS))
+            for process in backend._executor._processes.values():
+                process.kill()
+            with pytest.raises(RuntimeError, match="died"):
+                backend.run_tasks(
+                    index.snapshot, index.tasks(syndrome, "score", num_rows=NUM_ROWS)
+                )
+            # the pool rebuilds lazily: the next call serves again
+            np.testing.assert_array_equal(index.score(syndrome, backend=backend), reference[0])
+        finally:
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# Shard-worker handler (protocol level, no sockets)
+# ----------------------------------------------------------------------
+class TestShardWorkerHandler:
+    def _encode(self, payload: bytes) -> str:
+        import base64
+
+        return base64.b64encode(payload).decode("ascii")
+
+    def test_ping_and_snapshot_flow(self, snapshot):
+        handler = ShardWorkerHandler()
+        assert handler.submit("ping").result() == "pong -"
+        assert (
+            handler.submit(f"snapshot {self._encode(snapshot_to_bytes(snapshot))}").result()
+            == f"ok {snapshot.key}"
+        )
+        assert handler.submit("ping").result() == f"pong {snapshot.key}"
+
+    def test_task_needs_snapshot_first(self, snapshot, syndrome, index):
+        handler = ShardWorkerHandler()
+        task_line = f"task {self._encode(task_to_bytes(index.tasks(syndrome, 'score', num_rows=NUM_ROWS)[0]))}"
+        assert handler.submit(task_line).result() == f"error: need-snapshot {snapshot.key}"
+        handler.submit(f"snapshot {self._encode(snapshot_to_bytes(snapshot))}")
+        response = handler.submit(task_line).result()
+        assert response.startswith("result ")
+        assert handler.tasks_executed == 1
+
+    def test_snapshot_versions_stay_bounded(self):
+        handler = ShardWorkerHandler()
+        keys = []
+        for seed in range(4):
+            snap = WeightSnapshot.from_matrix(np.random.default_rng(seed).normal(size=(300, 4)))
+            handler.submit(f"snapshot {self._encode(snapshot_to_bytes(snap))}")
+            keys.append(snap.key)
+        assert handler.snapshot_keys == keys[-2:], "worker must evict stale parameter versions"
+
+    def test_bad_requests_answer_in_band(self):
+        handler = ShardWorkerHandler()
+        assert handler.submit("explode now").result().startswith("error: ")
+        assert handler.submit("snapshot not-base64!!").result().startswith("error: ")
+        # the handler survives bad input and keeps serving
+        assert handler.submit("ping").result() == "pong -"
+
+
+# ----------------------------------------------------------------------
+# Remote backend against live shard-worker servers
+# ----------------------------------------------------------------------
+class TestRemoteBackend:
+    def test_score_and_topk_bit_identical(self, index, syndrome, reference, remote_backend):
+        ref_scores, ref_ids, ref_topk = reference
+        np.testing.assert_array_equal(index.score(syndrome, backend=remote_backend), ref_scores)
+        ids, scores = index.topk(syndrome, NUM_ROWS, 25, backend=remote_backend)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_topk)
+
+    def test_snapshot_pushed_once_per_worker(self, index, syndrome, remote_backend, worker_servers):
+        for _ in range(3):
+            index.score(syndrome, backend=remote_backend)
+        for server in worker_servers:
+            assert index.snapshot.key in server.handler.snapshot_keys
+
+    def test_status_reports_liveness(self, remote_backend):
+        status = remote_backend.status()
+        assert status["backend"] == "remote"
+        assert status["workers"] == 2
+        assert status["workers_alive"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="worker_addrs"):
+            RemoteBackend()
+        with pytest.raises(ValueError, match="worker_addrs"):
+            RemoteBackend(worker_addrs=[])
+        with pytest.raises(ValueError, match="num_workers"):
+            RemoteBackend(worker_addrs=["a:1", "b:2"], num_workers=3)
+        with pytest.raises(ValueError, match="timeout"):
+            RemoteBackend(worker_addrs=["a:1"], timeout_s=0)
+
+    def test_lifecycle_close_reopen_context(self, index, syndrome, reference, remote_backend):
+        ref_scores = reference[0]
+        np.testing.assert_array_equal(index.score(syndrome, backend=remote_backend), ref_scores)
+        remote_backend.close()
+        remote_backend.close()  # idempotent
+        # use-after-close reconnects (and re-pushes the snapshot)
+        np.testing.assert_array_equal(index.score(syndrome, backend=remote_backend), ref_scores)
+        for _ in range(2):  # context manager is reusable
+            with remote_backend:
+                np.testing.assert_array_equal(
+                    index.score(syndrome, backend=remote_backend), ref_scores
+                )
+
+    def test_worker_restart_repushes_snapshot(
+        self, index, syndrome, reference, remote_backend, worker_servers
+    ):
+        # scoring once caches the pushed key client-side...
+        np.testing.assert_array_equal(index.score(syndrome, backend=remote_backend), reference[0])
+        # ...then the workers forget it (as restarted workers would): the
+        # need-snapshot handshake must re-push transparently mid-batch
+        for server in worker_servers:
+            with server.handler._lock:
+                server.handler._snapshots.clear()
+        np.testing.assert_array_equal(index.score(syndrome, backend=remote_backend), reference[0])
+        for server in worker_servers:
+            assert index.snapshot.key in server.handler.snapshot_keys
+
+    def test_dead_worker_raises_cleanly_not_hangs(self, index, syndrome):
+        server = ShardWorkerServer().start()
+        host, port = server.address
+        backend = RemoteBackend(worker_addrs=[f"{host}:{port}"], timeout_s=5.0)
+        try:
+            backend.run_tasks(index.snapshot, index.tasks(syndrome, "score", num_rows=NUM_ROWS))
+            server.stop()
+            with pytest.raises(RuntimeError, match="shard worker"):
+                backend.run_tasks(
+                    index.snapshot, index.tasks(syndrome, "score", num_rows=NUM_ROWS)
+                )
+            assert backend.status()["workers_alive"] == 0
+        finally:
+            backend.close()
+            server.stop()
+
+    def test_never_started_worker_is_unreachable_error(self, index, syndrome):
+        backend = RemoteBackend(worker_addrs=["127.0.0.1:1"], timeout_s=2.0)
+        try:
+            with pytest.raises(RuntimeError, match="unreachable"):
+                backend.run_tasks(
+                    index.snapshot, index.tasks(syndrome, "score", num_rows=NUM_ROWS)
+                )
+        finally:
+            backend.close()
+
+    def test_stats_line_reports_worker_topology(self, worker_servers):
+        import socket as socket_module
+
+        server = worker_servers[0]
+        host, port = server.address
+        with socket_module.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"stats\n")
+            line = sock.makefile("r").readline()
+        assert "backend=shard-worker" in line
+        assert "snapshot=" in line
+
+
+# ----------------------------------------------------------------------
+# Engine-level parity (the acceptance gate)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wide_split():
+    from repro.data import SyntheticTCMConfig, generate_corpus
+
+    corpus = generate_corpus(
+        SyntheticTCMConfig(
+            num_symptoms=40,
+            num_herbs=700,
+            num_syndromes=8,
+            num_prescriptions=250,
+            seed=5,
+        )
+    )
+    return corpus.dataset.train_test_split(test_fraction=0.2, rng=np.random.default_rng(5))
+
+
+class TestEngineParity:
+    """`processes` and `remote` answers equal `numpy` for every neural model."""
+
+    def test_all_registered_neural_models_bit_identical(
+        self, wide_split, process_backend, worker_servers
+    ):
+        from repro.experiments.datasets import get_profile
+        from repro.models import MODEL_REGISTRY
+        from repro.models.base import GraphHerbRecommender
+
+        train, test = wide_split
+        sets = test.symptom_sets()[:8]
+        profile = get_profile("smoke")
+        addrs = [f"{host}:{port}" for host, port in (s.address for s in worker_servers)]
+        neural_names = MODEL_REGISTRY.neural_names() + MODEL_REGISTRY.variant_names()
+        assert neural_names, "registry unexpectedly empty"
+        for name in neural_names:
+            entry = MODEL_REGISTRY.get(name)
+            model = entry.build(train, entry.default_config(profile, seed=0))
+            assert isinstance(model, GraphHerbRecommender)
+            baseline = InferenceEngine(model, num_shards=3).recommend_batch(sets, k=12)
+            baseline_scores = InferenceEngine(model).score_batch(sets)
+            pooled = InferenceEngine(model, num_shards=3, backend=process_backend)
+            assert pooled.recommend_batch(sets, k=12) == baseline, f"{name} diverged (processes)"
+            np.testing.assert_array_equal(pooled.score_batch(sets), baseline_scores)
+            remote = RemoteBackend(worker_addrs=addrs, timeout_s=10.0)
+            try:
+                remoted = InferenceEngine(model, num_shards=3, backend=remote)
+                assert remoted.recommend_batch(sets, k=12) == baseline, f"{name} diverged (remote)"
+                np.testing.assert_array_equal(remoted.score_batch(sets), baseline_scores)
+            finally:
+                remote.close()

@@ -351,6 +351,23 @@ class TestShardedEngine:
         assert scores.min() > 50.0, "override bypassed by the sharded fast path"
         assert InferenceEngine(SMGCN.from_dataset(train, config), num_shards=3).sharding_active
 
+    def test_backend_status_reports_topology(self, wide_model):
+        engine = InferenceEngine(wide_model, num_shards=3, backend="threads", num_workers=2)
+        try:
+            status = engine.backend_status()
+            assert status["backend"] == "threads"
+            assert status["workers"] == 2
+            assert status["shards"] == 3  # requested, index not built yet
+            engine.warm_up()
+            assert engine.backend_status()["shards"] == engine.herb_index().num_shards
+        finally:
+            engine.close()
+
+    def test_backend_status_unsharded(self, model):
+        status = InferenceEngine(model).backend_status()
+        assert status["backend"] == "numpy"
+        assert status["shards"] == 1
+
     def test_sharded_matches_across_all_registered_neural_models(self, wide_split):
         """Acceptance gate: every neural model in the zoo shards bit-identically."""
         from repro.models import MODEL_REGISTRY
@@ -370,3 +387,110 @@ class TestShardedEngine:
             baseline = InferenceEngine(model).recommend_batch(sets, k=12)
             sharded = InferenceEngine(model, num_shards=3).recommend_batch(sets, k=12)
             assert sharded == baseline, f"{name} diverged under sharding"
+
+
+from repro.inference import ComputeBackend, NumpyBackend
+
+
+class _ReleaseSpyBackend(ComputeBackend):
+    """A serial backend recording which snapshot keys were released."""
+
+    name = "release-spy"
+
+    def __init__(self):
+        self._inner = NumpyBackend()
+        self.released = []
+        self.closed = 0
+
+    def run_tasks(self, snapshot, tasks):
+        return self._inner.run_tasks(snapshot, tasks)
+
+    def release_snapshot(self, key):
+        self.released.append(key)
+
+    def close(self):
+        self.closed += 1
+
+    def status(self):
+        return {"backend": self.name, "workers": 1, "workers_alive": 1}
+
+
+def _bump_parameters(model):
+    for param in model.parameters():
+        param.data = param.data + 0.01
+        param.bump_version()
+
+
+class TestShardIndexCacheEviction:
+    """Weight updates must not grow the shard-index cache without bound."""
+
+    def test_cache_bounded_and_snapshots_released(self, wide_split):
+        from repro.inference import MAX_CACHED_INDEX_VERSIONS
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        spy = _ReleaseSpyBackend()
+        engine = InferenceEngine(model, num_shards=3, backend=spy)
+        seen_keys = []
+        for _ in range(MAX_CACHED_INDEX_VERSIONS + 3):
+            seen_keys.append(engine.herb_index().snapshot.key)
+            _bump_parameters(model)
+        assert len(engine._index_cache) == MAX_CACHED_INDEX_VERSIONS
+        # every key beyond the retained tail was released, oldest first
+        assert spy.released == seen_keys[: -MAX_CACHED_INDEX_VERSIONS]
+
+    def test_unchanged_version_hits_cache_without_eviction(self, wide_split):
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        spy = _ReleaseSpyBackend()
+        engine = InferenceEngine(model, num_shards=3, backend=spy)
+        first = engine.herb_index()
+        for _ in range(5):
+            assert engine.herb_index() is first
+        assert spy.released == []
+
+    def test_previous_version_survives_one_update(self, wide_split):
+        """The immediate predecessor stays cached (in-flight requests drain)."""
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        engine = InferenceEngine(model, num_shards=2)
+        old_version = model.parameter_version()
+        engine.herb_index()
+        _bump_parameters(model)
+        engine.herb_index()
+        assert old_version in engine._index_cache
+        _bump_parameters(model)
+        engine.herb_index()
+        assert old_version not in engine._index_cache
+
+    def test_close_releases_every_cached_snapshot(self, wide_split):
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        spy = _ReleaseSpyBackend()
+        engine = InferenceEngine(model, num_shards=3, backend=spy)
+        key_a = engine.herb_index().snapshot.key
+        _bump_parameters(model)
+        key_b = engine.herb_index().snapshot.key
+        engine.close()
+        assert spy.released == [key_a, key_b]
+        assert spy.closed == 1
+        assert engine._index_cache == {}

@@ -161,6 +161,22 @@ class TestSocketServer:
         assert stats_line.startswith("requests=1 ")
         assert "mean_batch=" in stats_line
 
+    def test_stats_control_line_reports_backend_topology(self, serving_stack):
+        server, stats = serving_stack
+        stats.set_backend_info(
+            lambda: {"backend": "threads", "shards": 4, "workers": 2, "workers_alive": 2}
+        )
+        try:
+            with socket.create_connection(server.address, timeout=10) as connection:
+                reader = connection.makefile("r", encoding="utf-8")
+                connection.sendall(b"stats\n")
+                stats_line = reader.readline().strip()
+        finally:
+            stats.set_backend_info(None)
+        assert "backend=threads" in stats_line
+        assert "shards=4" in stats_line
+        assert "workers_alive=2/2" in stats_line
+
     def test_error_response_keeps_connection_alive(self, serving_stack):
         server, _ = serving_stack
         with socket.create_connection(server.address, timeout=10) as connection:
@@ -168,6 +184,26 @@ class TestSocketServer:
             connection.sendall(b"totally_bogus\n0 3\n")
             assert reader.readline().strip().startswith("error: unknown symptom token")
             assert reader.readline().strip().startswith("herb_")
+
+    def test_stop_is_prompt_and_joins_accept_thread(self, pipeline):
+        """Shutdown must wake the blocked accept(), not sit out the join timeout.
+
+        Regression: on Linux, closing the listener does not unblock a thread
+        already parked in accept(), so stop() used to stall for its full
+        5-second join timeout on every server shutdown (and leave the accept
+        thread behind, still blocked).
+        """
+        import time
+
+        batcher = MicroBatcher(RecommendationHandler(pipeline, k=5), max_wait_ms=1.0)
+        server = SocketServer(batcher).start()
+        time.sleep(0.05)  # let the accept thread park in accept()
+        started = time.monotonic()
+        server.stop()
+        elapsed = time.monotonic() - started
+        batcher.close()
+        assert elapsed < 2.0, f"stop() stalled {elapsed:.1f}s joining the accept thread"
+        assert not server._accept_thread.is_alive()
 
     def test_stop_refuses_new_connections(self, pipeline):
         stats = ServerStats()

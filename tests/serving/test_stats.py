@@ -1,0 +1,72 @@
+"""Tests for ServerStats, including the backend-topology extension.
+
+The ``stats`` control line historically reported counters only; it now also
+carries the serving topology (active compute backend, shard count, worker
+liveness) whenever a backend-info provider is attached — and must degrade to
+plain counters, never crash, when the provider is missing or failing.
+"""
+
+import pytest
+
+from repro.serving import ServerStats
+
+
+class TestCounters:
+    def test_line_without_provider_is_pure_counters(self):
+        stats = ServerStats()
+        stats.record_request(0.002)
+        line = stats.to_line()
+        assert line.startswith("requests=1 ")
+        assert "backend=" not in line
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            ServerStats().latency_ms(101)
+
+
+class TestBackendInfo:
+    def test_line_reports_backend_shards_and_liveness(self):
+        stats = ServerStats()
+        stats.set_backend_info(
+            lambda: {"backend": "processes", "shards": 4, "workers": 4, "workers_alive": 3}
+        )
+        line = stats.to_line()
+        assert "backend=processes" in line
+        assert "shards=4" in line
+        assert "workers_alive=3/4" in line
+
+    def test_extra_keys_are_carried(self):
+        stats = ServerStats()
+        stats.set_backend_info(lambda: {"backend": "shard-worker", "snapshot": "m1-v3.9"})
+        assert "snapshot=m1-v3.9" in stats.to_line()
+
+    def test_text_gains_topology_line(self):
+        stats = ServerStats()
+        stats.set_backend_info(lambda: {"backend": "remote", "shards": 2, "workers": 2})
+        assert "topology" in stats.to_text()
+        assert "backend=remote" in stats.to_text()
+
+    def test_failing_provider_degrades_to_counters(self):
+        stats = ServerStats()
+
+        def boom():
+            raise RuntimeError("worker ping timed out")
+
+        stats.set_backend_info(boom)
+        assert stats.backend_info() == {}
+        assert "backend=" not in stats.to_line()
+
+    def test_detach(self):
+        stats = ServerStats()
+        stats.set_backend_info(lambda: {"backend": "numpy"})
+        assert "backend=numpy" in stats.to_line()
+        stats.set_backend_info(None)
+        assert "backend=" not in stats.to_line()
+
+    def test_snapshot_counters_unaffected(self):
+        stats = ServerStats()
+        stats.set_backend_info(lambda: {"backend": "threads", "workers": 2})
+        stats.record_batch(3)
+        view = stats.snapshot()
+        assert view["batches"] == 1
+        assert "backend" not in view, "numeric snapshot must stay numeric"

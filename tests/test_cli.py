@@ -398,3 +398,87 @@ class TestShardingFlags:
         captured = capsys.readouterr()
         responses = captured.out.splitlines()
         assert len(responses) == 1 and responses[0].startswith("herb_")
+
+
+class TestDistributedFlags:
+    """The distributed serving surface: shard-worker verb, processes/remote."""
+
+    def test_shard_worker_parser_defaults(self):
+        args = build_parser().parse_args(["shard-worker"])
+        assert args.command == "shard-worker"
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+
+    def test_serve_parser_worker_addr_accumulates(self):
+        args = build_parser().parse_args(
+            ["serve", "--shards", "2", "--backend", "remote",
+             "--worker-addr", "127.0.0.1:7801", "--worker-addr", "127.0.0.1:7802"]
+        )
+        assert args.worker_addr == ["127.0.0.1:7801", "127.0.0.1:7802"]
+
+    def test_remote_requires_worker_addr(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0",
+                     "--shards", "2", "--backend", "remote"])
+        assert code == 2
+        assert "--worker-addr" in capsys.readouterr().err
+
+    def test_worker_addr_requires_remote_backend(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0",
+                     "--shards", "2", "--backend", "threads",
+                     "--worker-addr", "127.0.0.1:7801"])
+        assert code == 2
+        assert "--backend remote" in capsys.readouterr().err
+
+    def test_worker_addr_conflicts_with_workers(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0",
+                     "--shards", "2", "--backend", "remote", "--workers", "2",
+                     "--worker-addr", "127.0.0.1:7801"])
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_bad_worker_addr_fails_before_training(self, capsys, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("training must not start for a bad worker address")
+
+        monkeypatch.setattr("repro.training.trainer.Trainer.fit", boom)
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0",
+                     "--shards", "2", "--backend", "remote",
+                     "--worker-addr", "nowhere"])
+        assert code == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_worker_addr_needs_sharding(self, capsys):
+        code = main(["predict", "--scale", "smoke", "--symptoms", "0",
+                     "--backend", "remote", "--worker-addr", "127.0.0.1:7801"])
+        assert code == 2
+        assert "--shards >= 2" in capsys.readouterr().err
+
+    def test_help_epilog_documents_distributed_serving(self):
+        help_text = build_parser().format_help()
+        assert "shard-worker" in help_text
+        assert "--backend remote" in help_text or "backend remote" in help_text
+
+    def test_predict_with_process_pool_matches_unsharded(self, capsys):
+        argv = ["predict", "--scale", "smoke", "--symptoms", "0 3", "--k", "4",
+                "--epochs", "1", "--seed", "0"]
+        assert main(argv) == 0
+        unsharded = capsys.readouterr().out
+        assert (
+            main(argv + ["--shards", "4", "--backend", "processes", "--workers", "2"]) == 0
+        )
+        assert capsys.readouterr().out == unsharded
+
+    def test_predict_with_remote_workers_matches_unsharded(self, capsys):
+        from repro.inference import ShardWorkerServer
+
+        argv = ["predict", "--scale", "smoke", "--symptoms", "0 3", "--k", "4",
+                "--epochs", "1", "--seed", "0"]
+        assert main(argv) == 0
+        unsharded = capsys.readouterr().out
+        with ShardWorkerServer() as first, ShardWorkerServer() as second:
+            remote_argv = argv + ["--shards", "4", "--backend", "remote"]
+            for host, port in (first.address, second.address):
+                remote_argv += ["--worker-addr", f"{host}:{port}"]
+            assert main(remote_argv) == 0
+            assert capsys.readouterr().out == unsharded
+            assert first.handler.tasks_executed + second.handler.tasks_executed > 0
