@@ -32,7 +32,7 @@ from .evaluation.metrics import top_k_indices
 from .experiments.datasets import experiment_evaluator, experiment_split, get_profile
 from .experiments.runners import train_registered_model
 from .inference.engine import InferenceEngine, Recommendation
-from .io.checkpoint import load_checkpoint, save_checkpoint
+from .io.checkpoint import load_checkpoint, save_checkpoint, validate_checkpoint_path
 from .models import MODEL_REGISTRY
 from .models.base import GraphHerbRecommender
 from .training import TrainerConfig
@@ -278,8 +278,14 @@ class Pipeline:
         ``num_workers``/``worker_addrs`` configure the serving engine exactly
         as in the constructor — sharding and backend placement are serving
         knobs, not checkpoint properties.
+
+        The path is validated up front (exists, regular file, ``.npz``) so a
+        typo fails with one clear :class:`~repro.io.checkpoint.CheckpointError`
+        before any corpus is built or serving resource spawned.
         """
         import dataclasses
+
+        path = validate_checkpoint_path(path)
 
         resolved = {}
 

@@ -21,7 +21,12 @@ instead of retraining, otherwise they train first on the chosen scale.
 ``serve`` keeps the model resident and micro-batches requests — stdin lines
 by default (response N answers input line N, including ``error:`` lines), or
 TCP connections with ``--port`` — through one pooling matmul per flush
-(``--max-batch``/``--max-wait-ms``), reporting stats on shutdown.
+(``--max-batch``/``--max-wait-ms``), reporting stats on shutdown.  Repeating
+``--model NAME=checkpoint.npz`` serves a catalog of models side by side
+(requests route with a ``model=NAME`` prefix); ``--watch`` hot-reloads an
+entry when its checkpoint file changes, the ``reload``/``models`` control
+lines do the same on demand, and ``--canary NAME=PATH`` shadows a fraction
+of an entry's traffic onto a candidate build — all with zero downtime.
 
 Both ``predict`` and ``serve`` take ``--shards``/``--backend``/``--workers``
 to split the herb-embedding matrix into column shards scored through a
@@ -63,6 +68,8 @@ examples:
   repro shard-worker --port 7801      # one model-free scoring worker
   repro serve --checkpoint smgcn.npz --shards 4 --backend remote \\
       --worker-addr 127.0.0.1:7801 --worker-addr 127.0.0.1:7802
+  repro serve --model smgcn=a.npz --model hlegcn=b.npz --port 7654 --watch
+  repro models --json                      # machine-readable registry
 
 `train --checkpoint` persists trained weights so predict/serve start in
 milliseconds; `--shards`/`--backend` split herb scoring into column shards
@@ -90,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="default",
         choices=_SCALES,
         help="scale used to count parameters (default: default)",
+    )
+    models_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: name, config class, description and "
+        "the scale's default config for every registered model",
     )
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
@@ -136,7 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="micro-batched serving: stdin lines by default, TCP with --port",
     )
-    _add_serving_arguments(serve_parser)
+    _add_serving_arguments(serve_parser, multi_model=True)
+    serve_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll every served checkpoint file and hot-reload an entry when "
+        "its bytes change (zero-downtime rollout)",
+    )
+    serve_parser.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="polling interval for --watch (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--canary",
+        default=None,
+        metavar="NAME=PATH",
+        help="mirror a fraction of NAME's traffic to the candidate checkpoint "
+        "at PATH, reporting score/latency deltas without affecting responses",
+    )
+    serve_parser.add_argument(
+        "--canary-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of the entry's traffic the canary shadows (default: 0.1)",
+    )
     serve_parser.add_argument(
         "--port",
         type=int,
@@ -181,19 +220,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_serving_arguments(parser: argparse.ArgumentParser, multi_model: bool = False) -> None:
     parser.add_argument(
         "--scale",
         default=None,
         choices=_SCALES,
         help="corpus scale (default: the checkpoint's scale, or smoke)",
     )
-    parser.add_argument(
-        "--model",
-        default=None,
-        help="registered model name (default: SMGCN; with --checkpoint it must "
-        "match the checkpointed model)",
-    )
+    if multi_model:
+        parser.add_argument(
+            "--model",
+            action="append",
+            default=None,
+            metavar="NAME[=PATH]",
+            help="either one registered model name (as for predict), or — "
+            "repeatable — NAME=checkpoint.npz catalog entries to serve "
+            "side by side with per-request model=NAME routing; the first "
+            "entry answers unrouted requests",
+        )
+    else:
+        parser.add_argument(
+            "--model",
+            default=None,
+            help="registered model name (default: SMGCN; with --checkpoint it must "
+            "match the checkpointed model)",
+        )
     parser.add_argument(
         "--checkpoint",
         default=None,
@@ -352,6 +403,28 @@ def _run_models(args) -> int:
     from .nn import Module
 
     profile = get_profile(args.scale)
+    if args.json:
+        import dataclasses
+        import json
+
+        records = []
+        for entry in MODEL_REGISTRY.entries():
+            config = entry.default_config(profile)
+            records.append(
+                {
+                    "name": entry.name,
+                    "config_class": entry.config_class.__name__,
+                    "description": entry.description,
+                    "default_config": (
+                        dataclasses.asdict(config)
+                        if dataclasses.is_dataclass(config)
+                        else dict(vars(config))
+                    ),
+                }
+            )
+        # default=str: config values must never make the listing unprintable
+        print(json.dumps(records, indent=2, default=str))
+        return 0
     train, _ = experiment_split(args.scale)
     print(f"{'name':<18} {'config':<16} {'params':>10}  description")
     for entry in MODEL_REGISTRY.entries():
@@ -491,6 +564,64 @@ def _serving_vocab(args, pipeline):
     return train.symptom_vocab
 
 
+def _parse_model_specs(models):
+    """Split serve's ``--model`` values into one plain name and NAME=path specs."""
+    plain = None
+    specs = []
+    for value in models or []:
+        if "=" in value:
+            name, _, path = value.partition("=")
+            if not name or not path:
+                raise ValueError(f"--model {value!r}: expected NAME=checkpoint.npz")
+            if any(name == seen for seen, _ in specs):
+                raise ValueError(f"--model names a duplicate entry {name!r}")
+            specs.append((name, path))
+        elif plain is not None:
+            raise ValueError(
+                "--model accepts one plain model name; use NAME=checkpoint.npz "
+                "entries to serve several models"
+            )
+        else:
+            plain = value
+    if plain is not None and specs:
+        raise ValueError(
+            "--model cannot mix a plain model name with NAME=checkpoint.npz entries"
+        )
+    return plain, specs
+
+
+def _build_catalog(args, model_specs):
+    """A warmed :class:`~repro.io.catalog.ModelCatalog` for the serve command."""
+    from .api import Pipeline
+    from .io.catalog import ModelCatalog
+    from .models.base import GraphHerbRecommender
+
+    def warm(pipeline) -> None:
+        if isinstance(pipeline.model, GraphHerbRecommender):
+            pipeline.engine  # noqa: B018 — warm the propagation before traffic
+
+    catalog = ModelCatalog()
+    if not model_specs:
+        pipeline = _load_or_none(args)
+        if pipeline is None:
+            pipeline = _build_pipeline(args)
+        warm(pipeline)
+        catalog.add(pipeline.model_name, pipeline, checkpoint_path=args.checkpoint)
+        return catalog
+    for name, path in model_specs:
+        pipeline = Pipeline.load(
+            path,
+            scale=args.scale,
+            num_shards=args.shards,
+            backend=args.backend,
+            num_workers=args.workers,
+            worker_addrs=args.worker_addr,
+        )
+        warm(pipeline)
+        catalog.add(name, pipeline, checkpoint_path=path)
+    return catalog
+
+
 def _run_serve(args) -> int:
     error = _check_k(args)
     if error is not None:
@@ -501,37 +632,112 @@ def _run_serve(args) -> int:
     if args.max_wait_ms < 0:
         print("error: --max-wait-ms must be non-negative", file=sys.stderr)
         return 2
+    if args.watch_interval <= 0:
+        print("error: --watch-interval must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 < args.canary_fraction <= 1.0:
+        print("error: --canary-fraction must lie in (0, 1]", file=sys.stderr)
+        return 2
     try:
-        pipeline = _load_or_none(args)
-        if pipeline is None:
-            pipeline = _build_pipeline(args)
-    except (ValueError, KeyError, OSError, CheckpointError) as err:
+        plain_model, model_specs = _parse_model_specs(args.model)
+    except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    from .models.base import GraphHerbRecommender
-    from .serving import MicroBatcher, RecommendationHandler, ServerStats, serve_lines
+    if model_specs and args.checkpoint:
+        print(
+            "error: --checkpoint conflicts with --model NAME=checkpoint.npz entries",
+            file=sys.stderr,
+        )
+        return 2
+    canary_spec = None
+    if args.canary is not None:
+        name, separator, path = args.canary.partition("=")
+        if not separator or not name or not path:
+            print("error: --canary expects NAME=checkpoint.npz", file=sys.stderr)
+            return 2
+        canary_spec = (name, path)
+    # fail fast on every checkpoint path — one clear line, before any corpus
+    # is built, socket bound or worker pool spawned
+    from .io.checkpoint import validate_checkpoint_path
+
+    try:
+        for paths in (
+            [path for _, path in model_specs],
+            [canary_spec[1]] if canary_spec else [],
+            [args.checkpoint] if args.checkpoint else [],
+        ):
+            for path in paths:
+                validate_checkpoint_path(path)
+    except CheckpointError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    from .io.catalog import CatalogError, CheckpointWatcher
+
+    args.model = plain_model  # _load_or_none/_build_pipeline take one plain name
+    try:
+        catalog = _build_catalog(args, model_specs)
+        if canary_spec is not None:
+            catalog.set_canary(
+                canary_spec[0], canary_spec[1], fraction=args.canary_fraction
+            )
+    except (ValueError, KeyError, OSError, CheckpointError, CatalogError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    from .serving import (
+        CatalogControl,
+        MicroBatcher,
+        RecommendationHandler,
+        ServerStats,
+        serve_lines,
+    )
 
     stats = ServerStats()
-    if isinstance(pipeline.model, GraphHerbRecommender):
-        engine = pipeline.engine  # warm the propagation before taking traffic
-        # `stats` control line reports the live topology: backend, shard
-        # count, worker liveness (remote workers are pinged per request)
-        stats.set_backend_info(engine.backend_status)
-    handler = RecommendationHandler(pipeline, k=args.k, stats=stats)
+
+    def backend_info():
+        # resolve per call so the topology follows the default entry's
+        # *current* generation across hot reloads
+        engine = catalog.entry().pipeline._engine
+        return engine.backend_status() if engine is not None else {}
+
+    stats.set_backend_info(backend_info)
+    handler = RecommendationHandler(catalog, k=args.k, stats=stats)
     batcher = MicroBatcher(
         handler,
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         stats=stats,
     )
-    source = args.checkpoint if args.checkpoint else "trained in-process"
+    watcher = None
+    if args.watch:
+        watch_targets = dict(model_specs)
+        if args.checkpoint:
+            watch_targets[catalog.default_name] = args.checkpoint
+        if not watch_targets:
+            print(
+                "error: --watch needs checkpoint-backed entries "
+                "(--checkpoint or --model NAME=checkpoint.npz)",
+                file=sys.stderr,
+            )
+            batcher.close(drain=False)
+            stats.set_backend_info(None)
+            catalog.close()
+            return 2
+        watcher = CheckpointWatcher(catalog, interval_s=args.watch_interval)
+        for name, path in watch_targets.items():
+            watcher.watch(name, path)
+        watcher.start()
+    control = CatalogControl(catalog, watcher=watcher)
+    served = ", ".join(catalog.names())
+    source = args.checkpoint if args.checkpoint else (
+        "checkpoint catalog" if model_specs else "trained in-process"
+    )
     try:
         if args.port is not None:
-            _serve_socket(args, pipeline, batcher, stats, source)
+            _serve_socket(args, catalog, batcher, stats, source, control)
         else:
             print(
-                f"ready: {pipeline.model_name} ({pipeline.scale}, {source}); "
-                "one symptom set per line, blank line or EOF quits",
+                f"ready: {served} ({source}); one symptom set per line "
+                "(model=NAME routes), blank line or EOF quits",
                 file=sys.stderr,
             )
             try:
@@ -540,16 +746,20 @@ def _run_serve(args) -> int:
                 pass  # Ctrl-C: stop reading, still report stats below
     except OSError as err:  # e.g. --port already in use / privileged
         print(f"error: {err}", file=sys.stderr)
+        if watcher is not None:
+            watcher.stop()
         batcher.close(drain=False)
         stats.set_backend_info(None)
-        pipeline.close()
+        catalog.close()
         return 2
+    if watcher is not None:
+        watcher.stop()
     batcher.close()
     # report before closing: the topology probe must not reconnect to (or
     # wait on) workers the close below is about to release
     print(stats.to_text(), file=sys.stderr)
     stats.set_backend_info(None)
-    pipeline.close()  # release backend workers / shared memory / sockets
+    catalog.close()  # release backend workers / shared memory / sockets
     return 0
 
 
@@ -575,15 +785,18 @@ def _wait_for_shutdown_signal() -> None:
             signal.signal(signum, old_handler)
 
 
-def _serve_socket(args, pipeline, batcher, stats, source) -> None:
+def _serve_socket(args, catalog, batcher, stats, source, control) -> None:
     """Run the TCP front-end until SIGINT/SIGTERM requests a shutdown."""
     from .serving import SocketServer
 
-    server = SocketServer(batcher, stats=stats, host=args.host, port=args.port).start()
+    server = SocketServer(
+        batcher, stats=stats, host=args.host, port=args.port, control=control.handle
+    ).start()
     host, port = server.address
     print(
-        f"listening on {host}:{port} ({pipeline.model_name}, {pipeline.scale}, {source}); "
-        "one symptom set per line, 'stats' for counters, SIGINT/SIGTERM to stop",
+        f"listening on {host}:{port} ({', '.join(catalog.names())}; {source}); "
+        "one symptom set per line (model=NAME routes), 'stats'/'models'/'reload' "
+        "control lines, SIGINT/SIGTERM to stop",
         file=sys.stderr,
         flush=True,
     )

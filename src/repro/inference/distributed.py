@@ -76,11 +76,14 @@ from .backends import (
 )
 
 __all__ = [
+    "MAX_ATTACHED_MODELS",
+    "MAX_ATTACHED_SNAPSHOTS",
     "ProcessPoolBackend",
     "RemoteBackend",
     "ShardWorkerHandler",
     "ShardWorkerServer",
     "parse_worker_addr",
+    "snapshot_model_tag",
     "task_to_bytes",
     "task_from_bytes",
     "tasks_to_bytes",
@@ -97,6 +100,24 @@ ShardResult = Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]
 #: once.  Matches the inference engine's shard-index cache bound: the latest
 #: version serves traffic, one predecessor may still be draining.
 MAX_ATTACHED_SNAPSHOTS = 2
+
+#: How many distinct *model tags* a shard worker keeps snapshots for.  A
+#: multi-tenant fleet serves several catalog entries through the same
+#: workers; the per-version bound applies per tag (so model A's rollout can
+#: never evict model B's serving snapshot), and this caps the tag count so
+#: an errant client cycling tags cannot grow a worker without bound.
+MAX_ATTACHED_MODELS = 8
+
+
+def snapshot_model_tag(key: str) -> str:
+    """The model-identity prefix of a snapshot key (``m{tag}-v{a}.{b}``).
+
+    Keys from :meth:`~repro.models.base.GraphHerbRecommender.export_snapshot`
+    are ``m<model-tag>-v<version>``; the tag is what stays stable across a
+    weight rollout, so retention bounds group by it.
+    """
+    tag, separator, _ = key.rpartition("-v")
+    return tag if separator else key
 
 
 # ----------------------------------------------------------------------
@@ -700,6 +721,26 @@ class ShardWorkerHandler:
         with self._lock:
             return next(reversed(self._snapshots)) if self._snapshots else None
 
+    def _evict_locked(self, tag: str) -> None:
+        """Bound retention per model tag, then the tag count itself.
+
+        Versions evict oldest-first *within* ``tag`` — another entry's
+        rollout never drops this entry's serving snapshot — and whole tags
+        evict least-recently-pushed once more than
+        :data:`MAX_ATTACHED_MODELS` are attached.
+        """
+        same_tag = [key for key in self._snapshots if snapshot_model_tag(key) == tag]
+        for stale in same_tag[: max(0, len(same_tag) - MAX_ATTACHED_SNAPSHOTS)]:
+            del self._snapshots[stale]
+        tags_seen: List[str] = []
+        for key in self._snapshots:  # insertion order ~ push recency
+            key_tag = snapshot_model_tag(key)
+            if key_tag not in tags_seen:
+                tags_seen.append(key_tag)
+        for stale_tag in tags_seen[: max(0, len(tags_seen) - MAX_ATTACHED_MODELS)]:
+            for key in [k for k in self._snapshots if snapshot_model_tag(k) == stale_tag]:
+                del self._snapshots[key]
+
     # -- SocketServer contract -----------------------------------------
     def submit(self, line: str) -> "Future[str]":
         future: "Future[str]" = Future()
@@ -725,8 +766,7 @@ class ShardWorkerHandler:
             with self._lock:
                 self._snapshots[snapshot.key] = snapshot.herb_embeddings
                 self._snapshots.move_to_end(snapshot.key)
-                while len(self._snapshots) > MAX_ATTACHED_SNAPSHOTS:
-                    self._snapshots.popitem(last=False)
+                self._evict_locked(snapshot_model_tag(snapshot.key))
             return f"ok {snapshot.key}"
         if verb == "task":
             task = task_from_bytes(base64.b64decode(payload))

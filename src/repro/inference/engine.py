@@ -27,9 +27,11 @@ placement are purely operational knobs.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -101,8 +103,19 @@ class InferenceEngine:
         self._base_scoring = type(model).score_sets is GraphHerbRecommender.score_sets
         #: parameter version -> shard index; bounded LRU (see
         #: :data:`MAX_CACHED_INDEX_VERSIONS`), evictions release the
-        #: snapshot's backend attachments.
+        #: snapshot's backend attachments.  Guarded by ``_cache_lock``: the
+        #: serving layer scores from many threads while weight rollouts bump
+        #: parameter versions, so lookups, evictions and the in-flight lease
+        #: counts below must agree on one consistent view.
         self._index_cache: "OrderedDict[Tuple[int, int], ShardedHerbIndex]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        #: snapshot key -> number of in-flight scoring calls leased on it.
+        self._leases: Dict[str, int] = {}
+        #: snapshot key -> index evicted from the LRU while still leased; its
+        #: backend attachment is released by the *last* lease holder, so an
+        #: eviction racing an in-flight ``recommend_batch`` can never pull a
+        #: snapshot out from under live scoring.
+        self._retired: Dict[str, ShardedHerbIndex] = {}
 
     # ------------------------------------------------------------------
     # Cache handling
@@ -132,10 +145,21 @@ class InferenceEngine:
         return self
 
     def close(self) -> None:
-        """Release backend workers and attachments (a no-op for the serial default)."""
-        while self._index_cache:
-            _, stale = self._index_cache.popitem(last=False)
-            self.backend.release_snapshot(stale.snapshot.key)
+        """Release backend workers and attachments (a no-op for the serial default).
+
+        Terminal with respect to in-flight work: callers must drain scoring
+        calls first (the serving layer does).  The engine itself stays
+        usable — the next request rebuilds its index and re-opens pooled
+        backends lazily.
+        """
+        with self._cache_lock:
+            stale_keys = [index.snapshot.key for index in self._index_cache.values()]
+            stale_keys.extend(self._retired)
+            self._index_cache.clear()
+            self._retired.clear()
+            self._leases.clear()
+        for key in stale_keys:
+            self.backend.release_snapshot(key)
         self.backend.close()
 
     def herb_index(self) -> ShardedHerbIndex:
@@ -145,8 +169,15 @@ class InferenceEngine:
         propagation cache) in a bounded LRU: weight updates produce new
         versions, and entries beyond :data:`MAX_CACHED_INDEX_VERSIONS` are
         evicted with their weight snapshots released from the backend — so
-        the cache cannot grow across training/serving cycles.
+        the cache cannot grow across training/serving cycles.  Scoring paths
+        must not call this directly but go through :meth:`_lease_index`,
+        which defers the release of an evicted snapshot until the last
+        in-flight call on it finishes.
         """
+        with self._cache_lock:
+            return self._herb_index_locked()
+
+    def _herb_index_locked(self) -> ShardedHerbIndex:
         # keyed by the pre-build version: a parameter bump landing mid-build
         # must leave the new index looking stale, not fresh
         version = self.model.parameter_version()
@@ -156,10 +187,46 @@ class InferenceEngine:
             self._index_cache[version] = index
             while len(self._index_cache) > MAX_CACHED_INDEX_VERSIONS:
                 _, stale = self._index_cache.popitem(last=False)
-                self.backend.release_snapshot(stale.snapshot.key)
+                self._retire_locked(stale)
         else:
             self._index_cache.move_to_end(version)
         return index
+
+    def _retire_locked(self, stale: ShardedHerbIndex) -> None:
+        """Release an evicted index now, or park it until its leases drain."""
+        key = stale.snapshot.key
+        if self._leases.get(key, 0) > 0:
+            self._retired[key] = stale
+        else:
+            self._retired.pop(key, None)
+            self.backend.release_snapshot(key)
+
+    @contextmanager
+    def _lease_index(self) -> Iterator[ShardedHerbIndex]:
+        """The current shard index, pinned for the duration of one scoring call.
+
+        While leased, an LRU eviction of this index defers the backend
+        ``release_snapshot`` to the last checkin — so concurrent weight
+        rollouts can never release a snapshot that live requests still score
+        against.
+        """
+        with self._cache_lock:
+            index = self._herb_index_locked()
+            key = index.snapshot.key
+            self._leases[key] = self._leases.get(key, 0) + 1
+        try:
+            yield index
+        finally:
+            release = False
+            with self._cache_lock:
+                remaining = self._leases.get(key, 1) - 1
+                if remaining <= 0:
+                    self._leases.pop(key, None)
+                    release = self._retired.pop(key, None) is not None
+                else:
+                    self._leases[key] = remaining
+            if release:
+                self.backend.release_snapshot(key)
 
     def backend_status(self) -> Dict[str, Any]:
         """Topology/liveness for the serving ``stats`` line.
@@ -170,12 +237,16 @@ class InferenceEngine:
         request, or 1 when sharding is inactive for this model.
         """
         status = dict(self.backend.status())
-        if not self.sharding_active:
-            status["shards"] = 1
-        elif self._index_cache:
-            status["shards"] = next(reversed(self._index_cache.values())).num_shards
-        else:
-            status["shards"] = self.num_shards
+        with self._cache_lock:
+            if not self.sharding_active:
+                status["shards"] = 1
+            elif self._index_cache:
+                status["shards"] = next(reversed(self._index_cache.values())).num_shards
+            else:
+                status["shards"] = self.num_shards
+            status["cached_index_versions"] = len(self._index_cache)
+            if self._retired:
+                status["draining_index_versions"] = len(self._retired)
         return status
 
     @property
@@ -210,12 +281,12 @@ class InferenceEngine:
                 for start in range(0, len(symptom_sets), self.batch_size)
             ]
             return np.vstack(rows)
-        index = self.herb_index()
         rows = []
-        for start in range(0, len(symptom_sets), self.batch_size):
-            chunk = symptom_sets[start : start + self.batch_size]
-            syndrome = self.model.encode_syndrome(chunk)
-            rows.append(index.score(syndrome, backend=self.backend)[: len(chunk)])
+        with self._lease_index() as index:
+            for start in range(0, len(symptom_sets), self.batch_size):
+                chunk = symptom_sets[start : start + self.batch_size]
+                syndrome = self.model.encode_syndrome(chunk)
+                rows.append(index.score(syndrome, backend=self.backend)[: len(chunk)])
         return np.asarray(np.vstack(rows), dtype=np.float64)
 
     def recommend_batch(
@@ -262,21 +333,21 @@ class InferenceEngine:
         ``top_k_indices`` would return at the smaller ``k``.
         """
         self.model.cached_encode()
-        index = self.herb_index()
         k_max = min(max(ks), self.model.num_herbs)
         results: List[Recommendation] = []
-        for start in range(0, len(symptom_sets), self.batch_size):
-            chunk = symptom_sets[start : start + self.batch_size]
-            syndrome = self.model.encode_syndrome(chunk)
-            ids, scores = index.topk(syndrome, len(chunk), k_max, backend=self.backend)
-            for row, kk in enumerate(ks[start : start + len(chunk)]):
-                keep = min(kk, ids.shape[1])
-                results.append(
-                    Recommendation(
-                        herb_ids=tuple(int(h) for h in ids[row, :keep]),
-                        scores=tuple(float(s) for s in scores[row, :keep]),
+        with self._lease_index() as index:
+            for start in range(0, len(symptom_sets), self.batch_size):
+                chunk = symptom_sets[start : start + self.batch_size]
+                syndrome = self.model.encode_syndrome(chunk)
+                ids, scores = index.topk(syndrome, len(chunk), k_max, backend=self.backend)
+                for row, kk in enumerate(ks[start : start + len(chunk)]):
+                    keep = min(kk, ids.shape[1])
+                    results.append(
+                        Recommendation(
+                            herb_ids=tuple(int(h) for h in ids[row, :keep]),
+                            scores=tuple(float(s) for s in scores[row, :keep]),
+                        )
                     )
-                )
         return results
 
     def recommend(self, symptom_set: Sequence[int], k: int = 20) -> Recommendation:

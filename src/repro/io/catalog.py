@@ -1,0 +1,623 @@
+"""Multi-model serving catalog with zero-downtime checkpoint rollout.
+
+A production fleet never serves one frozen model: checkpoints roll
+continuously and several variants (SMGCN, its ablations, the baselines)
+share one worker fleet.  :class:`ModelCatalog` owns N named entries — each a
+``(checkpoint path, serving pipeline/engine, version history)`` record — and
+gives every layer above it one contract:
+
+* **routing** — :meth:`ModelCatalog.lease` pins a request to the entry's
+  *current* pipeline for the duration of one scoring call;
+* **rollout** — :meth:`ModelCatalog.publish` builds the new pipeline from a
+  checkpoint, warms its propagation/shard index *off to the side*, then
+  swaps the entry atomically.  In-flight requests drain on the old
+  generation; the last lease out closes it, releasing old weight snapshots
+  through the engine's bounded LRU / ``release_snapshot`` path — so rollouts
+  never grow memory and never drop or corrupt a request;
+* **observation** — per-entry version history, a shadow/canary mode that
+  mirrors a configurable fraction of traffic to a candidate build and
+  reports score/latency deltas without affecting responses, and
+  :class:`CheckpointWatcher`, which polls checkpoint files (mtime/size, then
+  content fingerprint) and publishes changed ones automatically.
+
+The bit-identity invariant is preserved *per entry*: the same published
+version answers identically before, during and after a rollout of any other
+entry, because entries share nothing but the catalog dict.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .checkpoint import (
+    CheckpointError,
+    checkpoint_fingerprint,
+    validate_checkpoint_path,
+)
+
+__all__ = [
+    "CanaryState",
+    "CatalogEntry",
+    "CatalogError",
+    "CheckpointWatcher",
+    "MAX_VERSION_HISTORY",
+    "ModelCatalog",
+    "ModelVersion",
+]
+
+#: How many :class:`ModelVersion` records an entry keeps.  Rollout tooling
+#: wants recent history (what rolled, when, from which file); unbounded
+#: history on a server rolling every few minutes would grow forever.
+MAX_VERSION_HISTORY = 16
+
+
+class CatalogError(RuntimeError):
+    """A catalog operation cannot be performed (unknown model, bad rollout)."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published generation of a catalog entry."""
+
+    ordinal: int
+    checkpoint_path: Optional[str]
+    fingerprint: Optional[str]
+    published_at: float
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "ordinal": self.ordinal,
+            "checkpoint": self.checkpoint_path,
+            "fingerprint": self.fingerprint,
+            "published_at": self.published_at,
+        }
+
+
+class _Generation:
+    """One pipeline generation plus the leases currently scoring on it."""
+
+    __slots__ = ("pipeline", "leases", "retired")
+
+    def __init__(self, pipeline) -> None:
+        self.pipeline = pipeline
+        self.leases = 0
+        self.retired = False
+
+
+class CanaryState:
+    """Shadow a fraction of one entry's traffic onto a candidate pipeline.
+
+    The candidate answers the *same* symptom sets as the primary, off the
+    response path: the client always receives the primary's answer, while the
+    canary accumulates agreement and delta statistics — exact top-k match
+    rate, mean |top-1 score delta|, and mean per-request latency for both
+    sides — read back via :meth:`report`.
+
+    Mirroring is deterministic, not random: request ``n`` is mirrored when
+    ``floor(n * fraction)`` increments, so a fraction of ``0.25`` mirrors
+    exactly every fourth request and reports are reproducible.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        fraction: float,
+        checkpoint_path: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise CatalogError(f"canary fraction must lie in (0, 1], got {fraction}")
+        self.pipeline = pipeline
+        self.fraction = float(fraction)
+        self.checkpoint_path = checkpoint_path
+        self.fingerprint = fingerprint
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._mirrored = 0
+        self._errors = 0
+        self._matches = 0
+        self._score_delta_total = 0.0
+        self._primary_ms_total = 0.0
+        self._shadow_ms_total = 0.0
+
+    def take(self) -> bool:
+        """Whether the next request should be mirrored (deterministic)."""
+        with self._lock:
+            self._seen += 1
+            return int(self._seen * self.fraction) > int((self._seen - 1) * self.fraction)
+
+    def record(
+        self, matched: bool, score_delta: float, primary_ms: float, shadow_ms: float
+    ) -> None:
+        with self._lock:
+            self._mirrored += 1
+            self._matches += int(matched)
+            self._score_delta_total += abs(float(score_delta))
+            self._primary_ms_total += float(primary_ms)
+            self._shadow_ms_total += float(shadow_ms)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def report(self) -> Dict[str, Any]:
+        with self._lock:
+            mirrored = self._mirrored
+            report = {
+                "checkpoint": self.checkpoint_path,
+                "fraction": self.fraction,
+                "seen": self._seen,
+                "mirrored": mirrored,
+                "errors": self._errors,
+                "match_rate": (self._matches / mirrored) if mirrored else None,
+                "mean_score_delta": (
+                    self._score_delta_total / mirrored if mirrored else None
+                ),
+                "mean_primary_ms": (
+                    self._primary_ms_total / mirrored if mirrored else None
+                ),
+                "mean_shadow_ms": (
+                    self._shadow_ms_total / mirrored if mirrored else None
+                ),
+            }
+        return report
+
+
+class CatalogEntry:
+    """One named model slot: current pipeline, draining predecessors, history."""
+
+    def __init__(
+        self,
+        name: str,
+        pipeline,
+        version: ModelVersion,
+        serving_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._current = _Generation(pipeline)
+        self._draining: List[_Generation] = []
+        self.versions: List[ModelVersion] = [version]
+        #: keyword arguments a rollout re-applies to ``Pipeline.load`` so the
+        #: new generation serves with the same shards/backend/scale knobs.
+        self.serving_options: Dict[str, Any] = dict(serving_options or {})
+        self.canary: Optional[CanaryState] = None
+        self.last_error: Optional[str] = None
+
+    # -- reads ----------------------------------------------------------
+    @property
+    def pipeline(self):
+        """The current generation's pipeline (peek — no lease taken)."""
+        with self._lock:
+            return self._current.pipeline
+
+    @property
+    def version(self) -> ModelVersion:
+        return self.versions[-1]
+
+    @property
+    def draining(self) -> int:
+        """Retired generations still finishing in-flight requests."""
+        with self._lock:
+            return len(self._draining)
+
+    @contextmanager
+    def lease(self) -> Iterator[Any]:
+        """Pin the current pipeline for one scoring call.
+
+        A rollout swapping the entry mid-call leaves this lease scoring on
+        the old generation; the generation is closed (snapshots released)
+        only once its last lease checks back in.
+        """
+        with self._lock:
+            generation = self._current
+            generation.leases += 1
+        try:
+            yield generation.pipeline
+        finally:
+            close = False
+            with self._lock:
+                generation.leases -= 1
+                if generation.retired and generation.leases <= 0:
+                    close = True
+                    if generation in self._draining:
+                        self._draining.remove(generation)
+            if close:
+                generation.pipeline.close()
+
+    def describe(self) -> Dict[str, Any]:
+        """One JSON-able status record (the ``models`` control line's unit)."""
+        pipeline = self.pipeline
+        info: Dict[str, Any] = {
+            "name": self.name,
+            "model": pipeline.model_name,
+            "scale": pipeline.scale,
+            "version": self.version.ordinal,
+            "checkpoint": self.version.checkpoint_path,
+            "fingerprint": self.version.fingerprint,
+            "draining": self.draining,
+        }
+        engine = getattr(pipeline, "_engine", None)
+        if engine is not None:
+            info.update(engine.backend_status())
+        if self.canary is not None:
+            info["canary"] = self.canary.report()
+        if self.last_error is not None:
+            info["last_error"] = self.last_error
+        return info
+
+    # -- swap / teardown ------------------------------------------------
+    def _swap(self, pipeline, version: ModelVersion) -> None:
+        """CAS the current generation; retire the old one to drain."""
+        with self._lock:
+            old = self._current
+            self._current = _Generation(pipeline)
+            self.versions.append(version)
+            del self.versions[:-MAX_VERSION_HISTORY]
+            old.retired = True
+            close_now = old.leases <= 0
+            if not close_now:
+                self._draining.append(old)
+            self.last_error = None
+        if close_now:
+            old.pipeline.close()
+
+    def close(self) -> None:
+        """Release every generation's serving resources (terminal)."""
+        with self._lock:
+            generations = [self._current] + self._draining
+            self._draining = []
+            canary = self.canary
+            self.canary = None
+        for generation in generations:
+            generation.pipeline.close()
+        if canary is not None:
+            canary.pipeline.close()
+
+
+class ModelCatalog:
+    """N named, versioned, hot-swappable serving entries behind one surface."""
+
+    def __init__(self, serving_defaults: Optional[Dict[str, Any]] = None) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, CatalogEntry] = {}
+        self._order: List[str] = []
+        self._default_name: Optional[str] = None
+        #: options applied when ``publish`` creates a brand-new entry.
+        self.serving_defaults: Dict[str, Any] = dict(serving_defaults or {})
+        #: serializes rollouts: two concurrent publishes must not both build
+        #: engines for the same entry and race the swap.
+        self._publish_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def for_pipeline(
+        cls,
+        pipeline,
+        name: Optional[str] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+    ) -> "ModelCatalog":
+        """Wrap one ready pipeline as a single-entry catalog (legacy serve path)."""
+        catalog = cls()
+        catalog.add(name or pipeline.model_name, pipeline, checkpoint_path=checkpoint_path)
+        return catalog
+
+    def add(
+        self,
+        name: str,
+        pipeline,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        default: bool = False,
+    ) -> CatalogEntry:
+        """Register a ready pipeline under ``name`` (version 1 of the entry)."""
+        fingerprint = None
+        if checkpoint_path is not None:
+            checkpoint_path = str(checkpoint_path)
+            try:
+                fingerprint = checkpoint_fingerprint(checkpoint_path)
+            except OSError:
+                fingerprint = None
+        version = ModelVersion(
+            ordinal=1,
+            checkpoint_path=checkpoint_path,
+            fingerprint=fingerprint,
+            published_at=time.time(),
+        )
+        entry = CatalogEntry(
+            name,
+            pipeline,
+            version,
+            serving_options=self._options_from_pipeline(pipeline),
+        )
+        with self._lock:
+            if name in self._entries:
+                raise CatalogError(f"model {name!r} is already in the catalog")
+            self._entries[name] = entry
+            self._order.append(name)
+            if default or self._default_name is None:
+                self._default_name = name
+        return entry
+
+    @staticmethod
+    def _options_from_pipeline(pipeline) -> Dict[str, Any]:
+        return {
+            "scale": pipeline.scale,
+            "num_shards": pipeline.num_shards,
+            "backend": pipeline.backend,
+            "num_workers": pipeline.num_workers,
+            "worker_addrs": pipeline.worker_addrs,
+        }
+
+    # -- reads ----------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def default_name(self) -> Optional[str]:
+        with self._lock:
+            return self._default_name
+
+    def entry(self, name: Optional[str] = None) -> CatalogEntry:
+        """The named entry (``None`` -> the default); raises :class:`CatalogError`."""
+        with self._lock:
+            resolved = name if name is not None else self._default_name
+            if resolved is None:
+                raise CatalogError("the catalog is empty")
+            entry = self._entries.get(resolved)
+        if entry is None:
+            raise CatalogError(
+                f"unknown model {resolved!r}; serving: {', '.join(self.names()) or '(none)'}"
+            )
+        return entry
+
+    @contextmanager
+    def lease(self, name: Optional[str] = None) -> Iterator[Any]:
+        """Lease the named entry's current pipeline for one scoring call."""
+        with self.entry(name).lease() as pipeline:
+            yield pipeline
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Status of every entry, default first marked — the ``models`` line."""
+        default = self.default_name
+        records = []
+        for name in self.names():
+            try:
+                record = self.entry(name).describe()
+            except CatalogError:  # removed concurrently
+                continue
+            record["default"] = name == default
+            records.append(record)
+        return records
+
+    # -- rollout --------------------------------------------------------
+    def publish(self, name: str, checkpoint_path: Union[str, Path]) -> ModelVersion:
+        """Atomically roll ``name`` onto the checkpoint at ``checkpoint_path``.
+
+        Builds and warms the new pipeline *before* touching the entry, then
+        swaps it in one step: requests leased before the swap finish on the
+        old generation (closed when the last one drains, releasing its
+        snapshots through the engine LRU), requests leased after it score on
+        the new one.  Nothing is ever answered by a half-built engine.
+
+        Publishing an unknown ``name`` adds a new entry built with the
+        catalog's ``serving_defaults``.  Failures (missing/corrupt/mismatched
+        checkpoint) raise :class:`~repro.io.checkpoint.CheckpointError` /
+        :class:`CatalogError` and leave the entry serving exactly what it
+        served before.
+        """
+        with self._publish_lock:
+            path = validate_checkpoint_path(checkpoint_path)
+            fingerprint = checkpoint_fingerprint(path)
+            with self._lock:
+                entry = self._entries.get(name)
+            options = entry.serving_options if entry is not None else self.serving_defaults
+            try:
+                pipeline = self._build_pipeline(path, options)
+            except Exception as error:
+                if entry is not None:
+                    entry.last_error = f"{type(error).__name__}: {error}"
+                raise
+            version = ModelVersion(
+                ordinal=entry.version.ordinal + 1 if entry is not None else 1,
+                checkpoint_path=str(path),
+                fingerprint=fingerprint,
+                published_at=time.time(),
+            )
+            if entry is None:
+                entry = CatalogEntry(name, pipeline, version, serving_options=options)
+                with self._lock:
+                    self._entries[name] = entry
+                    self._order.append(name)
+                    if self._default_name is None:
+                        self._default_name = name
+            else:
+                entry._swap(pipeline, version)
+            return version
+
+    @staticmethod
+    def _build_pipeline(path: Path, options: Dict[str, Any]):
+        # lazy import: repro.api imports repro.io.checkpoint, so a module-level
+        # import here would be circular through the package __init__
+        from ..api import Pipeline
+        from ..models.base import GraphHerbRecommender
+
+        pipeline = Pipeline.load(
+            path,
+            scale=options.get("scale"),
+            num_shards=options.get("num_shards", 1),
+            backend=options.get("backend"),
+            num_workers=options.get("num_workers"),
+            worker_addrs=options.get("worker_addrs"),
+        )
+        if isinstance(pipeline.model, GraphHerbRecommender):
+            pipeline.engine  # noqa: B018 — warm propagation + shard index pre-swap
+        return pipeline
+
+    # -- canary ---------------------------------------------------------
+    def set_canary(
+        self, name: str, checkpoint_path: Union[str, Path], fraction: float = 0.1
+    ) -> CanaryState:
+        """Start mirroring ``fraction`` of ``name``'s traffic to a candidate."""
+        entry = self.entry(name)
+        with self._publish_lock:
+            path = validate_checkpoint_path(checkpoint_path)
+            fingerprint = checkpoint_fingerprint(path)
+            pipeline = self._build_pipeline(path, entry.serving_options)
+            canary = CanaryState(
+                pipeline, fraction, checkpoint_path=str(path), fingerprint=fingerprint
+            )
+            previous, entry.canary = entry.canary, canary
+        if previous is not None:
+            previous.pipeline.close()
+        return canary
+
+    def clear_canary(self, name: str) -> Optional[Dict[str, Any]]:
+        """Stop mirroring; returns the canary's final report (or ``None``)."""
+        entry = self.entry(name)
+        canary, entry.canary = entry.canary, None
+        if canary is None:
+            return None
+        report = canary.report()
+        canary.pipeline.close()
+        return report
+
+    # -- teardown -------------------------------------------------------
+    def close(self) -> None:
+        """Close every entry (current + draining generations + canaries)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.close()
+
+
+class _Watch:
+    __slots__ = ("name", "path", "stat", "fingerprint")
+
+    def __init__(self, name: str, path: Path, stat, fingerprint: Optional[str]) -> None:
+        self.name = name
+        self.path = path
+        self.stat = stat
+        self.fingerprint = fingerprint
+
+
+class CheckpointWatcher:
+    """Poll checkpoint files and publish changed ones into the catalog.
+
+    Polling is two-stage so steady state costs one ``stat`` per file: only an
+    mtime/size change triggers a content fingerprint, and only a *new*
+    fingerprint triggers :meth:`ModelCatalog.publish` — touching a file, or
+    rewriting identical bytes, rolls nothing.  A publish that fails (e.g. the
+    trainer is mid-write and the bundle is truncated) is retried on the next
+    content change; the failure is recorded on the entry (``last_error``),
+    never raised out of the poll loop.
+
+    ``poll_once`` is public and the loop thread optional, so tests drive the
+    watcher deterministically without sleeps.
+    """
+
+    def __init__(self, catalog: ModelCatalog, interval_s: float = 1.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.catalog = catalog
+        self.interval_s = float(interval_s)
+        self._lock = threading.Lock()
+        self._watches: Dict[str, _Watch] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- configuration --------------------------------------------------
+    def watch(self, name: str, path: Union[str, Path]) -> None:
+        """Track ``path`` for entry ``name``; the current bytes are the baseline."""
+        path = Path(path)
+        stat = self._stat(path)
+        fingerprint: Optional[str] = None
+        try:
+            fingerprint = checkpoint_fingerprint(path)
+        except OSError:
+            pass  # file may not exist yet; first appearance publishes
+        with self._lock:
+            self._watches[name] = _Watch(name, path, stat, fingerprint)
+
+    def watched(self) -> Dict[str, str]:
+        with self._lock:
+            return {name: str(watch.path) for name, watch in self._watches.items()}
+
+    @staticmethod
+    def _stat(path: Path):
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    # -- polling --------------------------------------------------------
+    def poll_once(self) -> List[str]:
+        """One poll pass; returns the entry names that were republished."""
+        published: List[str] = []
+        with self._lock:
+            watches = list(self._watches.values())
+        for watch in watches:
+            stat = self._stat(watch.path)
+            if stat is None or stat == watch.stat:
+                continue
+            watch.stat = stat
+            try:
+                fingerprint = checkpoint_fingerprint(watch.path)
+            except OSError:
+                continue  # raced a writer/unlink; next poll sees a new stat
+            if fingerprint == watch.fingerprint:
+                continue
+            watch.fingerprint = fingerprint
+            try:
+                self.catalog.publish(watch.name, watch.path)
+            except Exception:  # noqa: BLE001 — a torn/corrupt bundle can fail
+                # anywhere in the loader (BadZipFile, CheckpointError, ...);
+                # it is recorded on the entry as last_error, and a new content
+                # change (e.g. the writer finishing the bundle) retries
+                continue
+            published.append(watch.name)
+        return published
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "CheckpointWatcher":
+        if self._thread is not None:
+            raise RuntimeError("CheckpointWatcher is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="checkpoint-watcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 — the watcher must outlive bad polls
+                pass
+
+    def __enter__(self) -> "CheckpointWatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

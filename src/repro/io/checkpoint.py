@@ -38,6 +38,8 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_header",
+    "validate_checkpoint_path",
+    "checkpoint_fingerprint",
     "vocab_fingerprint",
     "pack_npz_bytes",
     "unpack_npz_bytes",
@@ -53,6 +55,38 @@ _STATE_PREFIX = "state/"
 
 class CheckpointError(RuntimeError):
     """A checkpoint cannot be written or (safely) loaded."""
+
+
+def validate_checkpoint_path(path: Union[str, Path]) -> Path:
+    """Cheap sanity checks on a checkpoint path, before anything expensive.
+
+    Raises a one-line :class:`CheckpointError` naming the path when it does
+    not exist, is not a file, or is not a ``.npz`` bundle — so CLI
+    entry points can refuse a typo'd path *before* binding sockets, spawning
+    worker pools or training anything.  Returns the path on success.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path}: no such file")
+    if not path.is_file():
+        raise CheckpointError(f"checkpoint {path}: not a regular file")
+    if path.suffix != ".npz":
+        raise CheckpointError(f"checkpoint {path}: not a .npz checkpoint bundle")
+    return path
+
+
+def checkpoint_fingerprint(path: Union[str, Path]) -> str:
+    """SHA-256 of a checkpoint file's bytes — the rollout identity of a build.
+
+    The catalog and the checkpoint watcher use this to decide whether a path
+    holds *new* weights (an mtime bump alone can be a touch or an in-place
+    rewrite of identical bytes) and to stamp version history entries.
+    """
+    digest = hashlib.sha256()
+    with open(Path(path), "rb") as stream:
+        for block in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 # ----------------------------------------------------------------------

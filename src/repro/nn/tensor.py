@@ -22,6 +22,7 @@ Gradients are verified against finite differences in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,30 +31,32 @@ __all__ = ["Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (mirroring torch): concurrent inference threads
+# entering/exiting no_grad must never disable graph construction for a
+# training thread — a process-global flag races on the save/restore.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction.
 
     Used during evaluation to avoid the memory and time overhead of recording
-    the backward tape.  Mirrors ``torch.no_grad``.
+    the backward tape.  Mirrors ``torch.no_grad``, including its thread-local
+    scope: only the entering thread stops recording.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record the backward graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -94,8 +97,9 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
-        self.parents = parents if _GRAD_ENABLED else ()
-        self.grad_fn = grad_fn if _GRAD_ENABLED else None
+        recording = is_grad_enabled()
+        self.parents = parents if recording else ()
+        self.grad_fn = grad_fn if recording else None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -155,7 +159,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         grad_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires_grad)
         if requires_grad:
             out.parents = tuple(parents)

@@ -1,30 +1,38 @@
-"""Micro-batched serving subsystem.
+"""Micro-batched, multi-model serving subsystem.
 
 Aggregates concurrent requests — from TCP connections or a piped stdin burst —
 into batches that flush through one
-:meth:`~repro.inference.engine.InferenceEngine.score_batch` pooling matmul,
-with per-request futures, error isolation and live stats:
+:meth:`~repro.inference.engine.InferenceEngine.score_batch` pooling matmul
+per catalog entry, with per-request futures, model routing, error isolation
+and live stats:
 
 * :class:`MicroBatcher` — size/timeout-triggered request aggregation;
-* :class:`RecommendationHandler` — line protocol parsing + batched scoring;
+* :class:`RecommendationHandler` — line/JSON protocol parsing, per-request
+  ``model=NAME`` routing over a :class:`~repro.io.catalog.ModelCatalog`,
+  batched scoring, canary mirroring;
+* :class:`CatalogControl` — ``models`` / ``reload`` / ``canary`` control
+  lines (zero-downtime rollout from a client connection);
 * :class:`SocketServer` / :func:`serve_lines` — TCP and stdin front-ends;
 * :class:`ServerStats` — requests, batches, mean batch size, latency
-  percentiles.
+  percentiles, per-model request/error breakdown.
 
 Responses are bit-identical to sequential
 :meth:`~repro.api.Pipeline.recommend` calls: the scoring path runs on a
 fixed tile grid (:data:`repro.models.base.SCORING_BLOCK` rows ×
 :data:`repro.models.base.HERB_BLOCK` herb columns), so a request's answer
-depends neither on its batchmates nor on how the vocabulary is sharded.
-The full protocol and operational reference lives in ``docs/SERVING.md``.
+depends neither on its batchmates, nor on how the vocabulary is sharded,
+nor on rollouts of *other* catalog entries.  The full protocol and
+operational reference lives in ``docs/SERVING.md``.
 """
 
 from .batcher import MicroBatcher
+from .control import CatalogControl
 from .handler import RecommendationHandler
 from .server import SocketServer, serve_lines
 from .stats import ServerStats
 
 __all__ = [
+    "CatalogControl",
     "MicroBatcher",
     "RecommendationHandler",
     "ServerStats",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, List, Optional, Sequence
 
@@ -67,6 +67,9 @@ class MicroBatcher:
         self._clock = clock
         self._stats = stats
         self._pending: Deque[_Pending] = deque()
+        #: the batch currently inside a handler call — tracked so a
+        #: non-draining close can fail its futures if the flush is stuck.
+        self._inflight: List[_Pending] = []
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
@@ -98,7 +101,11 @@ class MicroBatcher:
         """Stop accepting requests; by default flush what is still queued.
 
         With ``drain=False`` queued futures fail with ``RuntimeError``
-        instead.  Idempotent; in threaded mode joins the worker.
+        instead — including, after the worker join times out, the batch
+        stuck inside a blocked handler call, so no waiter can hang forever
+        on a flush that will never return (the non-draining join is bounded
+        by default for the same reason).  Idempotent; in threaded mode joins
+        the worker.
         """
         rejected: List[_Pending] = []
         with self._wakeup:
@@ -107,12 +114,27 @@ class MicroBatcher:
                 rejected = list(self._pending)
                 self._pending.clear()
             self._wakeup.notify_all()
-        for request in rejected:
-            request.future.set_exception(RuntimeError("MicroBatcher closed before flush"))
+        self._fail(rejected, "MicroBatcher closed before flush")
         if self._thread is not None:
+            if timeout is None and not drain:
+                # drain=False means "stop now, abandon queued work" — waiting
+                # unboundedly on a wedged handler would contradict that
+                timeout = 5.0
             self._thread.join(timeout)
+            if not drain:
+                with self._lock:
+                    stuck = list(self._inflight)
+                self._fail(stuck, "MicroBatcher closed during a blocked flush")
         elif drain:
             self.poll()  # manual mode: closing makes every pending request ready
+
+    @staticmethod
+    def _fail(requests: List[_Pending], reason: str) -> None:
+        for request in requests:
+            try:
+                request.future.set_exception(RuntimeError(reason))
+            except InvalidStateError:
+                pass  # the flush resolved it first — the waiter got an answer
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -161,10 +183,12 @@ class MicroBatcher:
                 return []
             if ready_only and not self._ready_locked():
                 return []
-            return [
+            batch = [
                 self._pending.popleft()
                 for _ in range(min(self.max_batch_size, len(self._pending)))
             ]
+            self._inflight = batch
+            return batch
 
     def _ready_locked(self) -> bool:
         if self._closed or len(self._pending) >= self.max_batch_size:
@@ -181,17 +205,26 @@ class MicroBatcher:
                 )
         except BaseException as error:  # noqa: BLE001 — a batch must never kill the worker
             for request in batch:
-                request.future.set_exception(error)
+                try:
+                    request.future.set_exception(error)
+                except InvalidStateError:
+                    pass  # already failed by a non-draining close
             if self._stats is not None:
                 self._stats.record_batch(len(batch))
             return
+        finally:
+            with self._lock:
+                self._inflight = []
         now = self._clock()
         if self._stats is not None:
             self._stats.record_batch(len(batch))
         for request, result in zip(batch, results):
             if self._stats is not None:
                 self._stats.record_request(now - request.enqueued_at)
-            request.future.set_result(result)
+            try:
+                request.future.set_result(result)
+            except InvalidStateError:
+                pass  # a non-draining close failed this future while we scored
 
     # ------------------------------------------------------------------
     # Worker loop (threaded mode)

@@ -1,0 +1,116 @@
+"""Operator control lines for a running multi-model server.
+
+:class:`CatalogControl` interprets the out-of-band lines of the socket
+protocol that manage the :class:`~repro.io.catalog.ModelCatalog` behind a
+server — everything that is *about* the serving fleet rather than a
+recommendation request:
+
+* ``models`` — one-line JSON array describing every catalog entry (name,
+  version, checkpoint, fingerprint, backend topology, draining generations,
+  canary report);
+* ``reload <name> <checkpoint.npz>`` — zero-downtime rollout of one entry
+  (``publish``); also adds a brand-new entry when ``name`` is unknown;
+* ``canary <name> <checkpoint.npz> [fraction]`` — start mirroring a traffic
+  fraction (default 0.1) to a candidate build;
+* ``canary <name>`` — read the current canary report;
+* ``canary <name> off`` — stop mirroring and report one last time.
+
+``handle`` returns ``None`` for anything it does not recognise, so the
+server can fall through to the recommendation path; failures answer as
+one-line ``error: ...`` strings and never raise into the connection thread.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..io.catalog import CatalogError, CheckpointWatcher, ModelCatalog
+from ..io.checkpoint import CheckpointError
+
+__all__ = ["CatalogControl"]
+
+
+class CatalogControl:
+    """Route control lines to catalog operations; plain requests pass through."""
+
+    def __init__(
+        self, catalog: ModelCatalog, watcher: Optional[CheckpointWatcher] = None
+    ) -> None:
+        self._catalog = catalog
+        self._watcher = watcher
+
+    def handle(self, line: str) -> Optional[str]:
+        """The response line for a control line, or ``None`` to pass through."""
+        tokens = line.split()
+        if not tokens:
+            return None
+        verb = tokens[0]
+        try:
+            if verb == "models":
+                return self._models(tokens)
+            if verb == "reload":
+                return self._reload(tokens)
+            if verb == "canary":
+                return self._canary(tokens)
+        except (CatalogError, CheckpointError) as error:
+            return f"error: {error}"
+        except Exception as error:  # noqa: BLE001 — control must not kill the thread
+            return f"error: {type(error).__name__}: {error}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def _models(self, tokens) -> Optional[str]:
+        if len(tokens) != 1:
+            return None  # "models ..." with operands is not this control line
+        records = self._catalog.describe()
+        if self._watcher is not None:
+            watched = self._watcher.watched()
+            for record in records:
+                if record["name"] in watched:
+                    record["watched"] = watched[record["name"]]
+        return json.dumps(records)
+
+    def _reload(self, tokens) -> str:
+        if len(tokens) != 3:
+            return "error: usage: reload <name> <checkpoint.npz>"
+        name, path = tokens[1], tokens[2]
+        version = self._catalog.publish(name, path)
+        if self._watcher is not None and name in self._watcher.watched():
+            # rebaseline so the watcher does not immediately re-publish the
+            # file the operator just rolled by hand
+            self._watcher.watch(name, path)
+        return (
+            f"ok: {name} now v{version.ordinal}"
+            f" fingerprint={(version.fingerprint or '')[:12]}"
+        )
+
+    def _canary(self, tokens) -> str:
+        if len(tokens) == 2:
+            name = tokens[1]
+            entry = self._catalog.entry(name)
+            if entry.canary is None:
+                return f"error: no canary on {name}"
+            return json.dumps({"model": name, **entry.canary.report()})
+        if len(tokens) == 3 and tokens[2] == "off":
+            name = tokens[1]
+            report = self._catalog.clear_canary(name)
+            if report is None:
+                return f"error: no canary on {name}"
+            return json.dumps({"model": name, "stopped": True, **report})
+        if len(tokens) in (3, 4):
+            name, path = tokens[1], tokens[2]
+            fraction = 0.1
+            if len(tokens) == 4:
+                try:
+                    fraction = float(tokens[3])
+                except ValueError:
+                    return f"error: canary fraction must be a number, got {tokens[3]!r}"
+            canary = self._catalog.set_canary(name, path, fraction=fraction)
+            return (
+                f"ok: canary on {name} at fraction {canary.fraction:g}"
+                f" fingerprint={(canary.fingerprint or '')[:12]}"
+            )
+        return "error: usage: canary <name> [<checkpoint.npz> [fraction] | off]"

@@ -1,102 +1,329 @@
-"""Line-protocol request handler: parse, batch-score, isolate failures.
+"""Line-protocol request handler: parse, route, batch-score, isolate failures.
 
-One request is one line of whitespace-separated symptom tokens (or integer
-ids), optionally prefixed with ``k=N`` to override the server's default list
-length::
+One request is one line.  Plain-text requests are whitespace-separated
+symptom tokens (or integer ids), optionally prefixed — in either order —
+with ``k=N`` to override the server's default list length and ``model=NAME``
+to route to a specific catalog entry::
 
     symptom_003 symptom_014
     k=5 symptom_003 17
+    model=smgcn k=3 symptom_003
 
-One response is one line: the recommended herb tokens separated by spaces, or
-``error: <reason>`` — so line N of output always answers line N of input, even
-when request N was malformed.
+Lines starting with ``{`` are structured JSON requests::
+
+    {"symptoms": ["symptom_003", 17], "k": 5, "model": "smgcn"}
+
+One response is one line: herb tokens separated by spaces for text requests,
+a ``{"model": ..., "herbs": [...], "scores": [...]}`` object for JSON ones,
+or ``error: <reason>`` / ``{"error": ...}`` — so line N of output always
+answers line N of input, even when request N was malformed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..api import Pipeline, parse_symptom_tokens
+from ..io.catalog import CatalogEntry, CatalogError, ModelCatalog
 from .stats import ServerStats
 
 __all__ = ["RecommendationHandler"]
 
 
+@dataclass
+class _Request:
+    """One parsed-but-not-yet-scored request line."""
+
+    index: int
+    tokens: List[str]
+    k: int
+    model: Optional[str]  # as requested; None -> catalog default
+    json_mode: bool
+    entry_name: Optional[str] = None  # resolved catalog entry
+    symptom_ids: Tuple[int, ...] = field(default_factory=tuple)
+
+
 class RecommendationHandler:
-    """Answer batches of request lines through one pooled scoring call.
+    """Answer batches of request lines through per-model pooled scoring calls.
 
     This is the ``handler`` a :class:`~repro.serving.batcher.MicroBatcher`
-    flushes into.  Per-request error isolation is enforced at two levels:
+    flushes into.  It accepts either a single :class:`~repro.api.Pipeline`
+    (wrapped into a one-entry catalog, the historical contract) or a
+    :class:`~repro.io.catalog.ModelCatalog`; each batch is grouped by
+    catalog entry, every group **leases** its entry's current pipeline so a
+    concurrent rollout can never swap (or release) weights mid-score, and
+    groups score independently — one entry's poison cannot fail another's
+    requests.
 
-    * parse errors (unknown token, bad id, empty set) turn into ``error:``
-      response lines without ever reaching the model;
-    * if the batched scoring call itself fails, every request is retried
-      individually so only the poisoned one answers with ``error:``.
+    Per-request error isolation is enforced at three levels:
+
+    * routing errors (unknown model, bad JSON) answer with ``error:`` /
+      ``{"error": ...}`` without touching any model;
+    * parse errors (unknown token, bad id, empty set) are caught per
+      request against the routed entry's vocabulary;
+    * if a group's batched scoring call fails, its requests are retried
+      individually so only the poisoned one answers with an error.
+
+    When an entry has a canary attached, the configured fraction of its
+    successfully-answered requests is mirrored to the candidate pipeline
+    after the primary response is already decided — canary behaviour
+    (including crashes) can never change what the client receives.
     """
 
     def __init__(
-        self, pipeline: Pipeline, k: int = 10, stats: Optional[ServerStats] = None
+        self,
+        pipeline: Union[Pipeline, ModelCatalog],
+        k: int = 10,
+        stats: Optional[ServerStats] = None,
     ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
-        self._pipeline = pipeline
+        if isinstance(pipeline, ModelCatalog):
+            self._catalog = pipeline
+        else:
+            self._catalog = ModelCatalog.for_pipeline(pipeline)
         self._default_k = k
         self._stats = stats
-        self._herb_vocab = pipeline.herb_vocab
-        self._symptom_vocab = pipeline.symptom_vocab
+
+    @property
+    def catalog(self) -> ModelCatalog:
+        return self._catalog
 
     # ------------------------------------------------------------------
     # Protocol pieces
     # ------------------------------------------------------------------
     def parse(self, line: str) -> Tuple[Tuple[int, ...], int]:
-        """``(symptom_ids, k)`` for one request line; raises ``ValueError``."""
-        tokens = line.split()
-        k = self._default_k
-        if tokens and tokens[0].startswith("k="):
-            raw_k = tokens[0][2:]
-            if not raw_k.lstrip("-").isdigit() or int(raw_k) <= 0:
-                raise ValueError(f"k must be a positive integer, got {tokens[0]!r}")
-            k = int(raw_k)
-            tokens = tokens[1:]
-        return tuple(parse_symptom_tokens(tokens, self._symptom_vocab)), k
+        """``(symptom_ids, k)`` for one text line against the default entry.
 
-    def format(self, recommendation) -> str:
-        """The response line: herb tokens, best first."""
-        return " ".join(self._herb_vocab.token_of(h) for h in recommendation.herb_ids)
+        Kept for the single-model contract (and tests); the batch path uses
+        the routed entry's vocabulary instead.  Raises ``ValueError``.
+        """
+        request = self._parse_line(0, line)
+        if request.json_mode:
+            raise ValueError("parse() handles text lines; JSON goes through __call__")
+        with self._catalog.lease(request.model) as pipeline:
+            return (
+                tuple(parse_symptom_tokens(request.tokens, pipeline.symptom_vocab)),
+                request.k,
+            )
+
+    def format(self, recommendation, pipeline: Optional[Pipeline] = None) -> str:
+        """The text response line: herb tokens, best first."""
+        if pipeline is None:
+            with self._catalog.lease() as pipeline:
+                return self.format(recommendation, pipeline)
+        return " ".join(pipeline.herb_vocab.token_of(h) for h in recommendation.herb_ids)
+
+    def _parse_line(self, index: int, line: str) -> _Request:
+        """Classify one line as a JSON or text request; raises ``ValueError``."""
+        line = line.strip()
+        if line.startswith("{"):
+            return self._parse_json(index, line)
+        tokens = line.split()
+        k: Optional[int] = None
+        model: Optional[str] = None
+        while tokens:
+            if k is None and tokens[0].startswith("k="):
+                k = self._parse_k(tokens[0][2:], tokens[0])
+            elif model is None and tokens[0].startswith("model="):
+                model = tokens[0][len("model=") :]
+                if not model:
+                    raise ValueError("model= must name a catalog entry")
+            else:
+                break
+            tokens = tokens[1:]
+        return _Request(
+            index=index,
+            tokens=tokens,
+            k=k if k is not None else self._default_k,
+            model=model,
+            json_mode=False,
+        )
+
+    def _parse_json(self, index: int, line: str) -> _Request:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"bad JSON request: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValueError("JSON request must be an object")
+        unknown = set(payload) - {"symptoms", "k", "model"}
+        if unknown:
+            raise ValueError(f"unknown JSON request fields: {', '.join(sorted(unknown))}")
+        symptoms = payload.get("symptoms")
+        if isinstance(symptoms, str):
+            tokens = symptoms.split()
+        elif isinstance(symptoms, list):
+            tokens = [str(item) for item in symptoms]
+        else:
+            raise ValueError('JSON request needs "symptoms": a string or a list')
+        k = payload.get("k", self._default_k)
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        model = payload.get("model")
+        if model is not None and not isinstance(model, str):
+            raise ValueError(f"model must be a string, got {model!r}")
+        return _Request(index=index, tokens=tokens, k=k, model=model, json_mode=True)
+
+    @staticmethod
+    def _parse_k(raw_k: str, token: str) -> int:
+        if not raw_k.lstrip("-").isdigit() or int(raw_k) <= 0:
+            raise ValueError(f"k must be a positive integer, got {token!r}")
+        return int(raw_k)
 
     # ------------------------------------------------------------------
     # Batch entry point (MicroBatcher handler contract)
     # ------------------------------------------------------------------
     def __call__(self, lines: Sequence[str]) -> List[str]:
         responses: List[Optional[str]] = [None] * len(lines)
-        valid: List[Tuple[int, Tuple[int, ...], int]] = []
+        groups: Dict[str, List[_Request]] = {}
         for index, line in enumerate(lines):
+            json_mode = line.lstrip().startswith("{")
             try:
-                symptom_ids, k = self.parse(line)
-                valid.append((index, symptom_ids, k))
-            except ValueError as error:
-                responses[index] = self._error(str(error))
-        if valid:
-            sets = [symptom_ids for _, symptom_ids, _ in valid]
-            ks = [k for _, _, k in valid]
+                request = self._parse_line(index, line)
+                request.entry_name = self._catalog.entry(request.model).name
+            except (ValueError, CatalogError) as error:
+                responses[index] = self._fail(str(error), json_mode=json_mode)
+                continue
+            groups.setdefault(request.entry_name, []).append(request)
+        for entry_name, requests in groups.items():
             try:
-                recommendations = self._pipeline.recommend_many(sets, k=ks)
+                entry = self._catalog.entry(entry_name)
+            except CatalogError as error:  # entry vanished since routing
+                for request in requests:
+                    responses[request.index] = self._fail(
+                        str(error), json_mode=request.json_mode
+                    )
+                continue
+            self._answer_group(entry, requests, responses)
+        return [
+            response if response is not None else self._fail("unanswered")
+            for response in responses
+        ]
+
+    def _answer_group(
+        self,
+        entry: CatalogEntry,
+        requests: List[_Request],
+        responses: List[Optional[str]],
+    ) -> None:
+        """Score one entry's requests on one leased pipeline generation."""
+        with entry.lease() as pipeline:
+            valid: List[_Request] = []
+            for request in requests:
+                try:
+                    request.symptom_ids = tuple(
+                        parse_symptom_tokens(request.tokens, pipeline.symptom_vocab)
+                    )
+                    valid.append(request)
+                except ValueError as error:
+                    responses[request.index] = self._fail(
+                        str(error), model=entry.name, json_mode=request.json_mode
+                    )
+            if not valid:
+                return
+            answered: List[Tuple[_Request, Any]] = []
+            started = time.perf_counter()
+            try:
+                recommendations = pipeline.recommend_many(
+                    [request.symptom_ids for request in valid],
+                    k=[request.k for request in valid],
+                )
             except Exception:  # noqa: BLE001 — retry per request to find the poison
                 recommendations = None
             if recommendations is None:
-                for index, symptom_ids, k in valid:
+                for request in valid:
                     try:
-                        responses[index] = self.format(
-                            self._pipeline.recommend(symptom_ids, k=k)
+                        recommendation = pipeline.recommend(
+                            request.symptom_ids, k=request.k
                         )
                     except Exception as error:  # noqa: BLE001
-                        responses[index] = self._error(str(error))
+                        responses[request.index] = self._fail(
+                            str(error), model=entry.name, json_mode=request.json_mode
+                        )
+                        continue
+                    answered.append((request, recommendation))
             else:
-                for (index, _, _), recommendation in zip(valid, recommendations):
-                    responses[index] = self.format(recommendation)
-        return [response if response is not None else self._error("unanswered") for response in responses]
+                answered = list(zip(valid, recommendations))
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            for request, recommendation in answered:
+                responses[request.index] = self._format_response(
+                    entry.name, request, recommendation, pipeline
+                )
+                if self._stats is not None:
+                    self._stats.record_model_request(entry.name)
+            if entry.canary is not None and answered:
+                self._mirror_to_canary(
+                    entry, answered, pipeline, elapsed_ms / len(answered)
+                )
 
-    def _error(self, reason: str) -> str:
+    def _format_response(
+        self, entry_name: str, request: _Request, recommendation, pipeline: Pipeline
+    ) -> str:
+        if not request.json_mode:
+            return self.format(recommendation, pipeline)
+        return json.dumps(
+            {
+                "model": entry_name,
+                "herbs": [
+                    pipeline.herb_vocab.token_of(h) for h in recommendation.herb_ids
+                ],
+                "scores": [round(float(s), 6) for s in recommendation.scores],
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Canary mirroring (off the response path)
+    # ------------------------------------------------------------------
+    def _mirror_to_canary(
+        self,
+        entry: CatalogEntry,
+        answered: List[Tuple[_Request, Any]],
+        pipeline: Pipeline,
+        primary_ms: float,
+    ) -> None:
+        canary = entry.canary
+        if canary is None:
+            return
+        for request, recommendation in answered:
+            if not canary.take():
+                continue
+            try:
+                started = time.perf_counter()
+                shadow_ids = tuple(
+                    parse_symptom_tokens(request.tokens, canary.pipeline.symptom_vocab)
+                )
+                shadow = canary.pipeline.recommend(shadow_ids, k=request.k)
+                shadow_ms = (time.perf_counter() - started) * 1000.0
+            except Exception:  # noqa: BLE001 — a canary must never hurt serving
+                canary.record_error()
+                continue
+            primary_herbs = [
+                pipeline.herb_vocab.token_of(h) for h in recommendation.herb_ids
+            ]
+            shadow_herbs = [
+                canary.pipeline.herb_vocab.token_of(h) for h in shadow.herb_ids
+            ]
+            top1_primary = recommendation.scores[0] if recommendation.scores else 0.0
+            top1_shadow = shadow.scores[0] if shadow.scores else 0.0
+            canary.record(
+                matched=primary_herbs == shadow_herbs,
+                score_delta=top1_shadow - top1_primary,
+                primary_ms=primary_ms,
+                shadow_ms=shadow_ms,
+            )
+
+    # ------------------------------------------------------------------
+    # Errors
+    # ------------------------------------------------------------------
+    def _fail(
+        self, reason: str, model: Optional[str] = None, json_mode: bool = False
+    ) -> str:
         if self._stats is not None:
-            self._stats.record_error()
+            self._stats.record_error(model=model)
+        if json_mode:
+            return json.dumps({"error": reason})
         return f"error: {reason}"

@@ -8,6 +8,9 @@ Socket protocol (one request per line, one response per line, UTF-8):
 
 * ``<symptom tokens...>`` → herb tokens (or ``error: <reason>``);
 * ``stats`` → single-line counters (requests/batches/mean batch/latency);
+* with a ``control`` hook attached (see
+  :class:`~repro.serving.control.CatalogControl`): ``models`` / ``reload`` /
+  ``canary`` lines are answered inline, off the batching path;
 * blank line or EOF → the connection closes; the server keeps running.
 """
 
@@ -78,9 +81,13 @@ class SocketServer:
         stats: Optional[ServerStats] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        control: Optional[Callable[[str], Optional[str]]] = None,
     ) -> None:
         self._batcher = batcher
         self._stats = stats
+        #: optional control-line hook, consulted before batching: returning a
+        #: string answers the line inline; ``None`` falls through to scoring.
+        self._control = control
         self._host = host
         self._port = port
         self._listener: Optional[socket.socket] = None
@@ -192,6 +199,11 @@ class SocketServer:
                         )
                         connection.sendall((stats_line + "\n").encode("utf-8"))
                         continue
+                    if self._control is not None:
+                        handled = self._control(line)
+                        if handled is not None:
+                            connection.sendall((handled + "\n").encode("utf-8"))
+                            continue
                     try:
                         future = self._batcher.submit(line)
                     except RuntimeError:

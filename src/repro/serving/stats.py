@@ -39,6 +39,9 @@ class ServerStats:
         self._batches = 0
         self._batched_requests = 0
         self._latencies_s = deque(maxlen=max_samples)
+        #: per-model ``[requests, errors]`` tallies, keyed by catalog entry
+        #: name — a multi-model server's breakdown of the global counters.
+        self._per_model: Dict[str, list] = {}
         self._backend_info: Optional[Callable[[], Dict[str, Any]]] = None
 
     # ------------------------------------------------------------------
@@ -92,10 +95,28 @@ class ServerStats:
             self._requests += 1
             self._latencies_s.append(float(latency_s))
 
-    def record_error(self) -> None:
-        """One request answered with an ``error:`` response line."""
+    def record_model_request(self, model: str) -> None:
+        """Attribute one answered request to a catalog entry.
+
+        Orthogonal to :meth:`record_request` (the batcher's global latency
+        tally): the handler calls this once per request it answers, with the
+        entry name it routed to, building the per-model breakdown."""
+        with self._lock:
+            self._per_model.setdefault(model, [0, 0])[0] += 1
+
+    def record_error(self, model: Optional[str] = None) -> None:
+        """One request answered with an ``error:`` response line.
+
+        When the failure is attributable to a catalog entry (routing
+        succeeded but scoring failed), ``model`` files it under that entry's
+        breakdown too — parse failures carry no model and stay global-only.
+        """
         with self._lock:
             self._errors += 1
+            if model is not None:
+                tally = self._per_model.setdefault(model, [0, 0])
+                tally[0] += 1
+                tally[1] += 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -120,6 +141,14 @@ class ServerStats:
         with self._lock:
             return self._batched_requests / self._batches if self._batches else 0.0
 
+    def per_model(self) -> Dict[str, Dict[str, int]]:
+        """Per-catalog-entry ``{"requests": n, "errors": n}`` breakdown."""
+        with self._lock:
+            return {
+                name: {"requests": tally[0], "errors": tally[1]}
+                for name, tally in sorted(self._per_model.items())
+            }
+
     def latency_ms(self, percentile: float) -> float:
         """The given latency percentile in milliseconds (0.0 with no samples)."""
         if not 0 <= percentile <= 100:
@@ -130,12 +159,13 @@ class ServerStats:
             samples = np.asarray(self._latencies_s, dtype=np.float64)
         return float(np.percentile(samples, percentile) * 1000.0)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, Any]:
         """A consistent point-in-time view of every metric."""
         p50 = self.latency_ms(50)
         p95 = self.latency_ms(95)
+        per_model = self.per_model()
         with self._lock:
-            return {
+            view: Dict[str, Any] = {
                 "requests": self._requests,
                 "errors": self._errors,
                 "batches": self._batches,
@@ -145,6 +175,9 @@ class ServerStats:
                 "p50_ms": p50,
                 "p95_ms": p95,
             }
+        if per_model:
+            view["models"] = per_model
+        return view
 
     def to_line(self) -> str:
         """Single-line summary — the socket protocol's ``stats`` response.
@@ -154,11 +187,19 @@ class ServerStats:
         ``... p95_ms=1.2 backend=processes shards=4 workers_alive=4/4``.
         """
         view = self.snapshot()
+        models = ""
+        per_model = view.get("models")
+        if per_model:
+            breakdown = ",".join(
+                f"{name}:{tally['requests']}/{tally['errors']}"
+                for name, tally in per_model.items()
+            )
+            models = f" models={breakdown}"
         return (
             f"requests={view['requests']:.0f} errors={view['errors']:.0f} "
             f"batches={view['batches']:.0f} mean_batch={view['mean_batch_size']:.2f} "
             f"p50_ms={view['p50_ms']:.3f} p95_ms={view['p95_ms']:.3f}"
-            f"{self._backend_suffix()}"
+            f"{models}{self._backend_suffix()}"
         )
 
     def to_text(self) -> str:
@@ -172,6 +213,11 @@ class ServerStats:
             f"  latency p50      {view['p50_ms']:.3f} ms",
             f"  latency p95      {view['p95_ms']:.3f} ms",
         ]
+        for name, tally in view.get("models", {}).items():
+            lines.append(
+                f"  model {name:<10} {tally['requests']} requests"
+                f" ({tally['errors']} errors)"
+            )
         suffix = self._backend_suffix()
         if suffix:
             lines.append(f"  topology        {suffix.strip()}")

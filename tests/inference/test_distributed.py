@@ -275,14 +275,36 @@ class TestShardWorkerHandler:
         assert response.startswith("result ")
         assert handler.tasks_executed == 1
 
-    def test_snapshot_versions_stay_bounded(self):
+    def _push(self, handler, key: str, seed: int = 0) -> str:
+        snap = WeightSnapshot.from_matrix(
+            np.random.default_rng(seed).normal(size=(300, 4)), key=key
+        )
+        handler.submit(f"snapshot {self._encode(snapshot_to_bytes(snap))}")
+        return snap.key
+
+    def test_snapshot_versions_stay_bounded_per_model(self):
         handler = ShardWorkerHandler()
-        keys = []
-        for seed in range(4):
-            snap = WeightSnapshot.from_matrix(np.random.default_rng(seed).normal(size=(300, 4)))
-            handler.submit(f"snapshot {self._encode(snapshot_to_bytes(snap))}")
-            keys.append(snap.key)
+        keys = [self._push(handler, f"mA-v0.{i}", seed=i) for i in range(4)]
         assert handler.snapshot_keys == keys[-2:], "worker must evict stale parameter versions"
+
+    def test_one_models_rollout_never_evicts_another(self):
+        # multi-tenant fleets: rolling model A's weights repeatedly must not
+        # drop model B's serving snapshot
+        handler = ShardWorkerHandler()
+        b_key = self._push(handler, "mB-v0.0", seed=99)
+        a_keys = [self._push(handler, f"mA-v0.{i}", seed=i) for i in range(5)]
+        assert b_key in handler.snapshot_keys
+        assert set(handler.snapshot_keys) == {b_key, *a_keys[-2:]}
+
+    def test_model_tag_count_stays_bounded(self):
+        from repro.inference.distributed import MAX_ATTACHED_MODELS
+
+        handler = ShardWorkerHandler()
+        keys = [
+            self._push(handler, f"m{tag}-v0.0", seed=tag)
+            for tag in range(MAX_ATTACHED_MODELS + 3)
+        ]
+        assert handler.snapshot_keys == keys[-MAX_ATTACHED_MODELS:]
 
     def test_bad_requests_answer_in_band(self):
         handler = ShardWorkerHandler()

@@ -7,6 +7,9 @@ propagation, the cache must invalidate on any parameter mutation, and the
 cached scores must equal the uncached forward pass bit-for-bit.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -494,3 +497,128 @@ class TestShardIndexCacheEviction:
         assert spy.released == [key_a, key_b]
         assert spy.closed == 1
         assert engine._index_cache == {}
+
+class _UseAfterReleaseGuard(ComputeBackend):
+    """A serial backend that refuses to score against a released snapshot.
+
+    This is the memory-safety contract a pooled/remote backend relies on:
+    once ``release_snapshot(key)`` ran, the weights behind ``key`` may be
+    unmapped (shared memory unlinked, worker attachment dropped), so any
+    later ``run_tasks`` with that key is a use-after-free.  The guard turns
+    that into a deterministic failure.
+    """
+
+    name = "use-after-release-guard"
+
+    def __init__(self):
+        self._inner = NumpyBackend()
+        self._lock = threading.Lock()
+        self.released = set()
+        self.violations = []
+
+    def run_tasks(self, snapshot, tasks):
+        with self._lock:
+            if snapshot.key in self.released:
+                self.violations.append(snapshot.key)
+                raise RuntimeError(f"scored against released snapshot {snapshot.key}")
+        return self._inner.run_tasks(snapshot, tasks)
+
+    def release_snapshot(self, key):
+        with self._lock:
+            self.released.add(key)
+
+    def close(self):
+        pass
+
+    def status(self):
+        return {"backend": self.name, "workers": 1, "workers_alive": 1}
+
+
+class TestIndexCacheConcurrency:
+    """LRU eviction racing in-flight scoring must never serve released weights."""
+
+    def _build(self, wide_split, backend):
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        return model, InferenceEngine(model, num_shards=3, backend=backend)
+
+    def test_lease_defers_release_until_checkout(self, wide_split):
+        from repro.inference import MAX_CACHED_INDEX_VERSIONS
+
+        spy = _ReleaseSpyBackend()
+        model, engine = self._build(wide_split, spy)
+        with engine._lease_index() as index:
+            leased_key = index.snapshot.key
+            # roll enough versions to evict the leased one from the LRU
+            for _ in range(MAX_CACHED_INDEX_VERSIONS + 2):
+                _bump_parameters(model)
+                engine.herb_index()
+            assert leased_key not in spy.released, (
+                "evicting a leased index must defer release until it drains"
+            )
+            assert "draining_index_versions" in engine.backend_status()
+        assert leased_key in spy.released, "the last lease out must release the snapshot"
+        assert "draining_index_versions" not in engine.backend_status()
+
+    def test_nested_leases_release_once(self, wide_split):
+        spy = _ReleaseSpyBackend()
+        model, engine = self._build(wide_split, spy)
+        with engine._lease_index() as outer:
+            with engine._lease_index() as inner:
+                assert inner is outer
+                _bump_parameters(model)
+                for _ in range(3):
+                    _bump_parameters(model)
+                    engine.herb_index()
+            assert outer.snapshot.key not in spy.released
+        assert spy.released.count(outer.snapshot.key) == 1
+
+    def test_eviction_racing_inflight_scoring_never_serves_released_snapshot(
+        self, wide_split
+    ):
+        """Two threads hammer recommend_batch across rolling parameter versions.
+
+        The guard backend fails any scoring call that references a snapshot
+        whose key was already released — exactly the crash/corruption a real
+        pooled backend would produce.  With the leased-index path, every
+        scoring call pins its index until it finishes, so no thread may ever
+        observe one.
+        """
+        guard = _UseAfterReleaseGuard()
+        model, engine = self._build(wide_split, guard)
+        queries = [(0, 3), (1, 2), (2,), (0, 1, 2)]
+        stop = threading.Event()
+        failures = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    engine.recommend_batch(queries, k=5)
+                except Exception as error:  # noqa: BLE001 — collected for the assert
+                    failures.append(error)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(12):  # each bump rolls a version; LRU evicts two back
+                _bump_parameters(model)
+                engine.herb_index()
+                time.sleep(0.005)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(30)
+        assert not failures, f"scoring failed during eviction races: {failures[0]}"
+        assert guard.violations == [], "a released snapshot key reached run_tasks"
+        # with traffic stopped, the drain bookkeeping must be empty again
+        with engine._lease_index():
+            pass
+        assert engine._retired == {}
+        assert engine._leases == {}

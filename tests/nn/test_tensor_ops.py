@@ -55,6 +55,39 @@ class TestTensorBasics:
         assert not out.requires_grad
         assert out.parents == ()
 
+    def test_no_grad_is_thread_local(self):
+        """Inference threads toggling no_grad must not disable a trainer's tape.
+
+        With a process-global flag, two threads racing enter/exit can leave
+        grad mode off for everyone (one thread saves previous=False and
+        restores it last) — after which backward() breaks process-wide.
+        """
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        stop = threading.Event()
+
+        def toggler():
+            while not stop.is_set():
+                with no_grad():
+                    pass
+
+        threads = [threading.Thread(target=toggler) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                assert is_grad_enabled()
+                a = Tensor([1.0, 2.0], requires_grad=True)
+                (a * 3.0).sum().backward()
+                np.testing.assert_allclose(a.grad, [3.0, 3.0])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(10)
+        assert is_grad_enabled()
+
 
 class TestArithmetic:
     def test_add_backward(self):

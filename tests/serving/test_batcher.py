@@ -222,3 +222,64 @@ class TestThreadedMode:
         future = batcher.submit("queued")
         batcher.close()  # deadline far away — close must still answer it
         assert future.result(timeout=0) == "answer:queued"
+
+    def test_threaded_close_without_drain_fails_queued_futures(self, handler):
+        batcher = MicroBatcher(handler, max_batch_size=100, max_wait_ms=60_000.0)
+        futures = [batcher.submit(f"q{i}") for i in range(3)]
+        batcher.close(drain=False)
+        for future in futures:
+            with pytest.raises(RuntimeError, match="closed before flush"):
+                future.result(timeout=5)
+
+    def test_close_without_drain_fails_batch_stuck_in_blocked_flush(self):
+        """Regression: shutdown must not hang waiters behind a wedged handler.
+
+        A handler that blocks forever used to make ``close(drain=False)``
+        leave the in-flight batch's futures unresolved — any thread waiting
+        on ``future.result()`` (a socket client, serve_lines) hung forever.
+        Now the join is bounded and the stuck batch fails with a clear
+        ``RuntimeError``; queued-but-untaken payloads fail immediately.
+        """
+        entered = threading.Event()
+        release = threading.Event()
+
+        def wedged(batch):
+            entered.set()
+            assert release.wait(timeout=30), "test teardown never released the handler"
+            return [f"late:{payload}" for payload in batch]
+
+        batcher = MicroBatcher(wedged, max_batch_size=1, max_wait_ms=0.0)
+        stuck = batcher.submit("a")
+        assert entered.wait(timeout=10), "the worker never picked up the first payload"
+        queued = [batcher.submit("b"), batcher.submit("c")]
+        try:
+            batcher.close(drain=False, timeout=0.2)
+            for future in queued:
+                with pytest.raises(RuntimeError, match="closed before flush"):
+                    future.result(timeout=5)
+            with pytest.raises(RuntimeError, match="blocked flush"):
+                stuck.result(timeout=5)
+        finally:
+            release.set()  # let the wedged worker thread finish and exit
+
+    def test_flush_completing_after_forced_close_is_harmless(self):
+        """The racing set_result on an already-failed future must not raise."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow(batch):
+            entered.set()
+            release.wait(timeout=30)
+            return [f"answer:{payload}" for payload in batch]
+
+        batcher = MicroBatcher(slow, max_batch_size=1, max_wait_ms=0.0)
+        stuck = batcher.submit("a")
+        assert entered.wait(timeout=10)
+        batcher.close(drain=False, timeout=0.1)
+        with pytest.raises(RuntimeError, match="blocked flush"):
+            stuck.result(timeout=5)
+        release.set()
+        # the worker resolves the batch late; InvalidStateError is swallowed
+        # and the thread exits cleanly
+        batcher._thread.join(10)
+        assert not batcher._thread.is_alive()

@@ -482,3 +482,154 @@ class TestDistributedFlags:
             assert main(remote_argv) == 0
             assert capsys.readouterr().out == unsharded
             assert first.handler.tasks_executed + second.handler.tasks_executed > 0
+
+
+class TestModelsJson:
+    def test_models_json_is_machine_readable(self, capsys):
+        import json
+
+        from repro.models import MODEL_REGISTRY
+
+        assert main(["models", "--json", "--scale", "smoke"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [record["name"] for record in records] == [
+            entry.name for entry in MODEL_REGISTRY.entries()
+        ]
+        for record in records:
+            assert record["config_class"]
+            assert record["description"]
+            assert isinstance(record["default_config"], dict)
+
+    def test_models_json_matches_registry_config_classes(self, capsys):
+        import json
+
+        from repro.models import MODEL_REGISTRY
+
+        assert main(["models", "--json", "--scale", "smoke"]) == 0
+        records = {r["name"]: r for r in json.loads(capsys.readouterr().out)}
+        for entry in MODEL_REGISTRY.entries():
+            assert records[entry.name]["config_class"] == entry.config_class.__name__
+
+
+class TestMultiModelServeCLI:
+    @pytest.fixture(scope="class")
+    def two_checkpoints(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-catalog")
+        paths = {}
+        for name, seed in (("a", 0), ("b", 7)):
+            paths[name] = directory / f"smgcn-{name}.npz"
+            assert (
+                main(["train", "--model", "SMGCN", "--scale", "smoke", "--epochs", "1",
+                      "--seed", str(seed), "--checkpoint", str(paths[name])]) == 0
+            )
+        return paths
+
+    def _no_training(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("Trainer.fit must not run for catalog serving")
+
+        monkeypatch.setattr("repro.training.trainer.Trainer.fit", boom)
+
+    def test_serve_catalog_routes_per_request(self, two_checkpoints, capsys, monkeypatch):
+        import io
+
+        from repro.api import Pipeline
+
+        self._no_training(monkeypatch)
+        requests = ["model=first 0 3", "model=second 0 3", "0 3", "model=nope 0 3"]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        code = main([
+            "serve", "--k", "3",
+            "--model", f"first={two_checkpoints['a']}",
+            "--model", f"second={two_checkpoints['b']}",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        responses = captured.out.splitlines()
+        expected = {
+            name: " ".join(
+                (lambda p: p.decode_herbs(p.recommend("0 3", k=3)))(Pipeline.load(path))
+            )
+            for name, path in two_checkpoints.items()
+        }
+        assert responses[0] == expected["a"]
+        assert responses[1] == expected["b"]
+        assert responses[2] == expected["a"]  # first entry answers unrouted lines
+        assert responses[3].startswith("error: unknown model 'nope'")
+        assert "first" in captured.err and "second" in captured.err
+
+    def test_serve_rejects_malformed_model_specs(self, capsys):
+        for argv in (
+            ["serve", "--model", "a=x.npz", "--model", "a=y.npz"],  # duplicate
+            ["serve", "--model", "a=x.npz", "--model", "SMGCN"],    # mixed forms
+            ["serve", "--model", "SMGCN", "--model", "NGCF"],       # two plain names
+            ["serve", "--model", "=x.npz"],                          # empty name
+            ["serve", "--model", "a="],                              # empty path
+        ):
+            assert main(argv) == 2
+            assert "error: --model" in capsys.readouterr().err
+
+    def test_serve_model_specs_conflict_with_checkpoint(self, capsys):
+        code = main(["serve", "--model", "a=x.npz", "--checkpoint", "y.npz"])
+        assert code == 2
+        assert "--checkpoint conflicts" in capsys.readouterr().err
+
+    def test_serve_missing_catalog_checkpoint_fails_fast(self, capsys, monkeypatch):
+        """One clear error line, before any socket binds or pools spawn."""
+        self._no_training(monkeypatch)
+
+        def no_bind(*args, **kwargs):
+            raise AssertionError("no socket may bind when validation fails")
+
+        monkeypatch.setattr("repro.serving.SocketServer.start", no_bind)
+        code = main(["serve", "--port", "0", "--model", "a=/nonexistent/a.npz"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: checkpoint /nonexistent/a.npz: no such file" in err
+
+    def test_predict_wrong_suffix_checkpoint_fails_fast(self, tmp_path, capsys):
+        bogus = tmp_path / "weights.txt"
+        bogus.write_text("not a checkpoint")
+        code = main(["predict", "--checkpoint", str(bogus), "--symptoms", "0 3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"error: checkpoint {bogus}: not a .npz checkpoint bundle" in err
+
+    def test_serve_canary_flag_validation(self, capsys):
+        assert main(["serve", "--canary", "no-equals-sign"]) == 2
+        assert "--canary expects NAME=checkpoint.npz" in capsys.readouterr().err
+        assert main(["serve", "--canary", "a=x.npz", "--canary-fraction", "0"]) == 2
+        assert "--canary-fraction" in capsys.readouterr().err
+
+    def test_serve_watch_needs_checkpoint_entries(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n"))
+        code = main(["serve", "--watch", "--scale", "smoke", "--epochs", "1"])
+        assert code == 2
+        assert "--watch needs checkpoint-backed entries" in capsys.readouterr().err
+
+    def test_serve_watch_interval_validated(self, capsys):
+        assert main(["serve", "--watch", "--watch-interval", "0"]) == 2
+        assert "--watch-interval" in capsys.readouterr().err
+
+    def test_serve_canary_reports_on_shutdown(self, two_checkpoints, capsys, monkeypatch):
+        import io
+
+        self._no_training(monkeypatch)
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 3\n0 3\n\n"))
+        code = main([
+            "serve", "--k", "3",
+            "--model", f"main={two_checkpoints['a']}",
+            "--canary", f"main={two_checkpoints['b']}",
+            "--canary-fraction", "1.0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 2
+        assert "model main" in captured.err  # per-model stats breakdown
+
+    def test_help_epilog_documents_catalog_serving(self):
+        parser = build_parser()
+        assert "--model smgcn=a.npz" in parser.epilog
+        assert "models --json" in parser.epilog
