@@ -818,7 +818,11 @@ class ShardWorkerServer:
                 "tasks": self.handler.tasks_executed,
             }
         )
-        self._server = SocketServer(self.handler, stats=self.stats, host=host, port=port)
+        # no request-line bound: weight snapshots legitimately arrive as one
+        # multi-megabyte line on this trusted, fleet-internal protocol
+        self._server = SocketServer(
+            self.handler, stats=self.stats, host=host, port=port, max_line_bytes=None
+        )
 
     def start(self) -> "ShardWorkerServer":
         self._server.start()

@@ -12,9 +12,17 @@ and live stats:
   batched scoring, canary mirroring;
 * :class:`CatalogControl` — ``models`` / ``reload`` / ``canary`` control
   lines (zero-downtime rollout from a client connection);
-* :class:`SocketServer` / :func:`serve_lines` — TCP and stdin front-ends;
+* :class:`SocketServer` / :func:`serve_lines` — thread-per-connection TCP
+  and stdin front-ends;
+* :class:`AsyncSocketServer` / :class:`AdmissionController` — the
+  single-threaded event-loop TCP front-end (the ``repro serve`` default):
+  thousands of multiplexed connections with explicit admission control —
+  connection caps, per-client quotas, bounded pending queue with
+  ``error: overloaded`` load shedding, idle timeouts, bounded slow-client
+  write buffers;
 * :class:`ServerStats` — requests, batches, mean batch size, latency
-  percentiles, per-model request/error breakdown.
+  percentiles (p50/p95/p99), live connection gauge, shed/reject counters,
+  per-model request/error breakdown.
 
 Responses are bit-identical to sequential
 :meth:`~repro.api.Pipeline.recommend` calls: the scoring path runs on a
@@ -27,13 +35,19 @@ operational reference lives in ``docs/SERVING.md``.
 
 from .batcher import MicroBatcher
 from .control import CatalogControl
+from .eventloop import AdmissionController, AsyncSocketServer, OVERLOADED_RESPONSE
 from .handler import RecommendationHandler
-from .server import SocketServer, serve_lines
+from .server import LINE_TOO_LONG_RESPONSE, MAX_LINE_BYTES, SocketServer, serve_lines
 from .stats import ServerStats
 
 __all__ = [
+    "AdmissionController",
+    "AsyncSocketServer",
     "CatalogControl",
+    "LINE_TOO_LONG_RESPONSE",
+    "MAX_LINE_BYTES",
     "MicroBatcher",
+    "OVERLOADED_RESPONSE",
     "RecommendationHandler",
     "ServerStats",
     "SocketServer",

@@ -19,12 +19,21 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+from concurrent.futures import Future
 from typing import Callable, Iterable, Optional, Tuple
 
 from .batcher import MicroBatcher
 from .stats import ServerStats
 
-__all__ = ["SocketServer", "serve_lines"]
+__all__ = ["LINE_TOO_LONG_RESPONSE", "MAX_LINE_BYTES", "SocketServer", "serve_lines"]
+
+#: A request line (including its newline) may be at most this many bytes.
+#: Both front-ends enforce it while reading, so a client streaming gigabytes
+#: without a newline exhausts a constant, not the process: the offender is
+#: answered with :data:`LINE_TOO_LONG_RESPONSE` and its connection closed.
+MAX_LINE_BYTES = 64 * 1024
+
+LINE_TOO_LONG_RESPONSE = "error: request line too long"
 
 
 def serve_lines(
@@ -45,6 +54,13 @@ def serve_lines(
     def pump() -> None:
         try:
             for raw_line in lines:
+                if len(raw_line) > MAX_LINE_BYTES:
+                    # answer in order like any other response, then stop
+                    # reading — the stream is not trustworthy past this point
+                    too_long: Future = Future()
+                    too_long.set_result(LINE_TOO_LONG_RESPONSE)
+                    futures.put(too_long)
+                    break
                 line = raw_line.strip()
                 if not line:
                     break
@@ -82,12 +98,19 @@ class SocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         control: Optional[Callable[[str], Optional[str]]] = None,
+        max_line_bytes: Optional[int] = MAX_LINE_BYTES,
     ) -> None:
+        if max_line_bytes is not None and max_line_bytes <= 0:
+            raise ValueError("max_line_bytes must be positive (None disables)")
         self._batcher = batcher
         self._stats = stats
         #: optional control-line hook, consulted before batching: returning a
         #: string answers the line inline; ``None`` falls through to scoring.
         self._control = control
+        #: request-line bound; ``None`` disables it for trusted internal
+        #: protocols whose lines are legitimately huge (shard-worker weight
+        #: snapshots travel as one line).
+        self._max_line_bytes = max_line_bytes
         self._host = host
         self._port = port
         self._listener: Optional[socket.socket] = None
@@ -186,11 +209,48 @@ class SocketServer:
                 self._threads.add(thread)
             thread.start()
 
-    def _serve_client(self, connection: socket.socket) -> None:
+    @staticmethod
+    def _half_close(connection: socket.socket, timeout: float = 5.0) -> None:
+        """FIN, then drain the client's leftover bytes before closing.
+
+        Closing with unread data in the receive queue sends an RST, which can
+        destroy the final response in flight (e.g. the ``error: request line
+        too long`` answer to a client that overshot the bound).  The drain is
+        bounded by ``timeout`` so a client that never closes cannot pin the
+        thread.
+        """
         try:
-            with connection, connection.makefile("r", encoding="utf-8") as reader:
-                for raw_line in reader:
-                    line = raw_line.strip()
+            connection.shutdown(socket.SHUT_WR)
+            connection.settimeout(timeout)
+            drained = 0
+            while drained < (1 << 20):  # a firehose client gets the RST it earned
+                chunk = connection.recv(65536)
+                if not chunk:
+                    return
+                drained += len(chunk)
+        except OSError:
+            pass
+
+    def _serve_client(self, connection: socket.socket) -> None:
+        if self._stats is not None:
+            self._stats.record_connection_open()
+        try:
+            with connection, connection.makefile("rb") as reader:
+                bound = self._max_line_bytes
+                while True:
+                    raw = reader.readline(bound) if bound is not None else reader.readline()
+                    if not raw:
+                        break
+                    if bound is not None and len(raw) >= bound and not raw.endswith(b"\n"):
+                        connection.sendall(
+                            (LINE_TOO_LONG_RESPONSE + "\n").encode("utf-8")
+                        )
+                        break
+                    try:
+                        line = raw.decode("utf-8").strip()
+                    except UnicodeDecodeError:
+                        connection.sendall(b"error: request is not valid UTF-8\n")
+                        break
                     if not line:
                         break
                     if line == "stats":
@@ -214,9 +274,12 @@ class SocketServer:
                     except Exception as error:  # noqa: BLE001
                         response = f"error: {error}"
                     connection.sendall((response + "\n").encode("utf-8"))
+                self._half_close(connection)
         except OSError:
             pass  # client went away mid-write; nothing to clean beyond the socket
         finally:
+            if self._stats is not None:
+                self._stats.record_connection_close()
             with self._lock:
                 self._connections.discard(connection)
                 self._threads.discard(threading.current_thread())

@@ -38,6 +38,10 @@ class ServerStats:
         self._errors = 0
         self._batches = 0
         self._batched_requests = 0
+        self._connections = 0
+        self._rejected_overload = 0
+        self._rejected_quota = 0
+        self._idle_closed = 0
         self._latencies_s = deque(maxlen=max_samples)
         #: per-model ``[requests, errors]`` tallies, keyed by catalog entry
         #: name — a multi-model server's breakdown of the global counters.
@@ -95,6 +99,32 @@ class ServerStats:
             self._requests += 1
             self._latencies_s.append(float(latency_s))
 
+    def record_connection_open(self) -> None:
+        """A front-end accepted (and admitted) one client connection."""
+        with self._lock:
+            self._connections += 1
+
+    def record_connection_close(self) -> None:
+        """One admitted connection ended (either side closed it)."""
+        with self._lock:
+            self._connections -= 1
+
+    def record_rejected_overload(self) -> None:
+        """One connection or request refused with ``error: overloaded``
+        because the connection cap or the pending queue was full."""
+        with self._lock:
+            self._rejected_overload += 1
+
+    def record_rejected_quota(self) -> None:
+        """One request shed because its connection hit its in-flight quota."""
+        with self._lock:
+            self._rejected_quota += 1
+
+    def record_idle_closed(self) -> None:
+        """One connection closed by the read-idle timeout."""
+        with self._lock:
+            self._idle_closed += 1
+
     def record_model_request(self, model: str) -> None:
         """Attribute one answered request to a catalog entry.
 
@@ -141,6 +171,27 @@ class ServerStats:
         with self._lock:
             return self._batched_requests / self._batches if self._batches else 0.0
 
+    @property
+    def connections(self) -> int:
+        """Live gauge: admitted connections currently open."""
+        with self._lock:
+            return self._connections
+
+    @property
+    def rejected_overload(self) -> int:
+        with self._lock:
+            return self._rejected_overload
+
+    @property
+    def rejected_quota(self) -> int:
+        with self._lock:
+            return self._rejected_quota
+
+    @property
+    def idle_closed(self) -> int:
+        with self._lock:
+            return self._idle_closed
+
     def per_model(self) -> Dict[str, Dict[str, int]]:
         """Per-catalog-entry ``{"requests": n, "errors": n}`` breakdown."""
         with self._lock:
@@ -163,6 +214,7 @@ class ServerStats:
         """A consistent point-in-time view of every metric."""
         p50 = self.latency_ms(50)
         p95 = self.latency_ms(95)
+        p99 = self.latency_ms(99)
         per_model = self.per_model()
         with self._lock:
             view: Dict[str, Any] = {
@@ -174,6 +226,11 @@ class ServerStats:
                 ),
                 "p50_ms": p50,
                 "p95_ms": p95,
+                "p99_ms": p99,
+                "connections": self._connections,
+                "rejected_overload": self._rejected_overload,
+                "rejected_quota": self._rejected_quota,
+                "idle_closed": self._idle_closed,
             }
         if per_model:
             view["models"] = per_model
@@ -198,7 +255,11 @@ class ServerStats:
         return (
             f"requests={view['requests']:.0f} errors={view['errors']:.0f} "
             f"batches={view['batches']:.0f} mean_batch={view['mean_batch_size']:.2f} "
-            f"p50_ms={view['p50_ms']:.3f} p95_ms={view['p95_ms']:.3f}"
+            f"p50_ms={view['p50_ms']:.3f} p95_ms={view['p95_ms']:.3f} "
+            f"p99_ms={view['p99_ms']:.3f} connections={view['connections']:.0f} "
+            f"rejected_overload={view['rejected_overload']:.0f} "
+            f"rejected_quota={view['rejected_quota']:.0f} "
+            f"idle_closed={view['idle_closed']:.0f}"
             f"{models}{self._backend_suffix()}"
         )
 
@@ -212,7 +273,17 @@ class ServerStats:
             f"  mean batch size  {view['mean_batch_size']:.2f}",
             f"  latency p50      {view['p50_ms']:.3f} ms",
             f"  latency p95      {view['p95_ms']:.3f} ms",
+            f"  latency p99      {view['p99_ms']:.3f} ms",
         ]
+        shed = (
+            view["rejected_overload"] + view["rejected_quota"] + view["idle_closed"]
+        )
+        if shed:
+            lines.append(
+                f"  admission        {view['rejected_overload']:.0f} overload, "
+                f"{view['rejected_quota']:.0f} quota, "
+                f"{view['idle_closed']:.0f} idle-closed"
+            )
         for name, tally in view.get("models", {}).items():
             lines.append(
                 f"  model {name:<10} {tally['requests']} requests"

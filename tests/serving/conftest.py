@@ -1,0 +1,19 @@
+"""Shared serving-test fixtures.
+
+The socket end-to-end tests (threaded and event-loop front-ends) all score
+against one smoke-scale pipeline; training it once per session keeps the
+suite fast without weakening any bit-identity assertion — determinism is
+asserted against the *same* weights everywhere.
+"""
+
+import pytest
+
+from repro.api import Pipeline
+from repro.experiments.datasets import get_profile
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return Pipeline(
+        "SMGCN", scale="smoke", trainer_config=get_profile("smoke").trainer_config(epochs=1)
+    ).fit()

@@ -12,16 +12,15 @@ import threading
 
 import pytest
 
-from repro.api import Pipeline
-from repro.experiments.datasets import get_profile
-from repro.serving import MicroBatcher, RecommendationHandler, ServerStats, SocketServer
-
-
-@pytest.fixture(scope="module")
-def pipeline():
-    return Pipeline(
-        "SMGCN", scale="smoke", trainer_config=get_profile("smoke").trainer_config(epochs=1)
-    ).fit()
+from repro.serving import (
+    LINE_TOO_LONG_RESPONSE,
+    MAX_LINE_BYTES,
+    MicroBatcher,
+    RecommendationHandler,
+    ServerStats,
+    SocketServer,
+    serve_lines,
+)
 
 
 def sequential_answer(pipeline, line, k=10):
@@ -221,6 +220,56 @@ class TestSocketServer:
                 assert connection.makefile("r", encoding="utf-8").readline() == ""
         except OSError:
             pass
+
+    def test_oversized_request_line_answered_and_closed(self, serving_stack):
+        """A client streaming past MAX_LINE_BYTES without a newline gets one
+        clear error line and a closed connection, not an OOM."""
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"a" * (MAX_LINE_BYTES + 10))
+            assert reader.readline().strip() == LINE_TOO_LONG_RESPONSE
+            assert reader.readline() == ""  # EOF: the connection was closed
+        # the server itself keeps serving
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"0 3\n")
+            assert reader.readline().strip().startswith("herb_")
+
+    def test_request_line_at_the_bound_still_served(self, serving_stack):
+        """Content of MAX_LINE_BYTES - 1 bytes (+ newline) is a legal line."""
+        server, _ = serving_stack
+        line = b"0 3" + b" " * (MAX_LINE_BYTES - 1 - 3) + b"\n"
+        assert len(line) == MAX_LINE_BYTES
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(line)
+            assert reader.readline().strip().startswith("herb_")
+
+    def test_invalid_utf8_answered_and_closed(self, serving_stack):
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"\xff\xfe broken\n")
+            assert reader.readline().strip() == "error: request is not valid UTF-8"
+            assert reader.readline() == ""
+
+    def test_connection_gauge_tracks_open_clients(self, serving_stack):
+        server, stats = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            # close the reader too: an open makefile() keeps the socket fd
+            # alive past the with-block, so the server would never see EOF
+            with connection.makefile("r", encoding="utf-8") as reader:
+                connection.sendall(b"0 3\n")
+                reader.readline()
+                assert stats.connections == 1
+                assert "connections=1" in stats.to_line()
+        deadline = threading.Event()
+        for _ in range(100):  # the close is handled on the server thread
+            if stats.connections == 0:
+                break
+            deadline.wait(0.05)
+        assert stats.connections == 0
 
     def test_blank_line_closes_connection_but_not_server(self, serving_stack):
         server, _ = serving_stack

@@ -23,6 +23,50 @@ class TestCounters:
         with pytest.raises(ValueError):
             ServerStats().latency_ms(101)
 
+    def test_p99_reported_in_line_snapshot_and_text(self):
+        stats = ServerStats()
+        for latency_ms in range(1, 101):  # p99 lands near the 99 ms sample
+            stats.record_request(latency_ms / 1000.0)
+        view = stats.snapshot()
+        assert view["p50_ms"] <= view["p95_ms"] <= view["p99_ms"]
+        assert 98.0 <= view["p99_ms"] <= 100.0
+        assert "p99_ms=" in stats.to_line()
+        assert "latency p99" in stats.to_text()
+
+
+class TestAdmissionCounters:
+    def test_connection_gauge_rises_and_falls(self):
+        stats = ServerStats()
+        stats.record_connection_open()
+        stats.record_connection_open()
+        stats.record_connection_close()
+        assert stats.connections == 1
+        assert "connections=1" in stats.to_line()
+        assert stats.snapshot()["connections"] == 1
+
+    def test_shed_counters_in_line_and_snapshot(self):
+        stats = ServerStats()
+        stats.record_rejected_overload()
+        stats.record_rejected_overload()
+        stats.record_rejected_quota()
+        stats.record_idle_closed()
+        assert (stats.rejected_overload, stats.rejected_quota, stats.idle_closed) == (2, 1, 1)
+        line = stats.to_line()
+        assert "rejected_overload=2" in line
+        assert "rejected_quota=1" in line
+        assert "idle_closed=1" in line
+        view = stats.snapshot()
+        assert view["rejected_overload"] == 2
+        assert view["rejected_quota"] == 1
+        assert view["idle_closed"] == 1
+
+    def test_text_admission_line_only_when_shedding_happened(self):
+        stats = ServerStats()
+        assert "admission" not in stats.to_text()
+        stats.record_rejected_overload()
+        assert "admission" in stats.to_text()
+        assert "1 overload" in stats.to_text()
+
 
 class TestBackendInfo:
     def test_line_reports_backend_shards_and_liveness(self):

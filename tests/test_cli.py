@@ -243,6 +243,43 @@ class TestCheckpointServing:
                 assert response == " ".join(pipeline.decode_herbs(expected))
         assert "serving stats:" in captured.err
 
+    @pytest.mark.parametrize("frontend", ["async", "threads"])
+    def test_serve_port_round_trip_both_frontends(
+        self, checkpoint, capsys, monkeypatch, frontend
+    ):
+        """`repro serve --port 0` answers over TCP identically on either
+        front-end; the listening line names the front-end in use."""
+        import re
+        import socket
+
+        from repro.api import Pipeline
+
+        observed = {}
+
+        def query_then_shutdown():
+            err = capsys.readouterr().err
+            observed["listening"] = err
+            match = re.search(r"listening on ([\d.]+):(\d+)", err)
+            assert match, f"no listening line in: {err!r}"
+            address = (match.group(1), int(match.group(2)))
+            with socket.create_connection(address, timeout=10) as connection:
+                reader = connection.makefile("r", encoding="utf-8")
+                connection.sendall(b"0 3\n")
+                observed["answer"] = reader.readline().strip()
+                connection.sendall(b"stats\n")
+                observed["stats"] = reader.readline().strip()
+
+        monkeypatch.setattr("repro.cli._wait_for_shutdown_signal", query_then_shutdown)
+        code = main(["serve", "--checkpoint", str(checkpoint), "--k", "3",
+                     "--port", "0", "--frontend", frontend])
+        assert code == 0
+        assert f"frontend={frontend}" in observed["listening"]
+        pipeline = Pipeline.load(checkpoint)
+        expected = " ".join(pipeline.decode_herbs(pipeline.recommend("0 3", k=3)))
+        assert observed["answer"] == expected
+        assert observed["stats"].startswith("requests=1 ")
+        assert "connections=1" in observed["stats"]
+
     def test_predict_missing_checkpoint_errors_cleanly(self, capsys):
         code = main(["predict", "--checkpoint", "/nonexistent/x.npz", "--symptoms", "0"])
         assert code == 2
@@ -342,6 +379,42 @@ class TestPredictServe:
         assert "--checkpoint" in help_text
         assert "--shards" in help_text
         assert "docs/SERVING.md" in help_text
+
+
+class TestAdmissionFlags:
+    def test_serve_parser_frontend_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.frontend == "async"
+        assert args.max_connections is None
+        assert args.max_pending is None
+        assert args.client_quota is None
+        assert args.idle_timeout is None
+
+    def test_admission_knobs_require_port(self, capsys):
+        code = main(["serve", "--scale", "smoke", "--max-connections", "10"])
+        assert code == 2
+        assert "--max-connections" in capsys.readouterr().err
+
+    def test_admission_knobs_require_async_frontend(self, capsys):
+        code = main(["serve", "--scale", "smoke", "--port", "0",
+                     "--frontend", "threads", "--client-quota", "4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--client-quota" in err and "async" in err
+
+    def test_admission_knob_values_validated(self, capsys):
+        for flag in ("--max-connections", "--max-pending", "--client-quota"):
+            code = main(["serve", "--scale", "smoke", "--port", "0", flag, "0"])
+            assert code == 2
+            assert flag in capsys.readouterr().err
+        code = main(["serve", "--scale", "smoke", "--port", "0", "--idle-timeout", "-1"])
+        assert code == 2
+        assert "--idle-timeout" in capsys.readouterr().err
+
+    def test_help_epilog_documents_admission(self):
+        help_text = build_parser().format_help()
+        assert "--frontend" in help_text
+        assert "--max-connections" in help_text
 
 
 class TestShardingFlags:
