@@ -80,6 +80,10 @@ class Pipeline:
         backend=None,
         num_workers: Optional[int] = None,
         worker_addrs: Optional[Sequence[str]] = None,
+        retrieval: str = "exact",
+        candidate_factor: int = 4,
+        num_lists: int = 0,
+        nprobe: int = 1,
         **model_overrides,
     ) -> None:
         self._entry = MODEL_REGISTRY.get(model)  # fail fast on unknown names
@@ -92,6 +96,10 @@ class Pipeline:
         self.backend = backend
         self.num_workers = num_workers
         self.worker_addrs = list(worker_addrs) if worker_addrs is not None else None
+        self.retrieval = retrieval
+        self.candidate_factor = candidate_factor
+        self.num_lists = num_lists
+        self.nprobe = nprobe
         self.model_overrides = dict(model_overrides)
         self._model = None
         self._history = None
@@ -177,6 +185,10 @@ class Pipeline:
                 backend=self.backend,
                 num_workers=self.num_workers,
                 worker_addrs=self.worker_addrs,
+                retrieval=self.retrieval,
+                candidate_factor=self.candidate_factor,
+                num_lists=self.num_lists,
+                nprobe=self.nprobe,
             ).warm_up()
         return self._engine
 
@@ -266,6 +278,10 @@ class Pipeline:
         backend=None,
         num_workers: Optional[int] = None,
         worker_addrs: Optional[Sequence[str]] = None,
+        retrieval: str = "exact",
+        candidate_factor: int = 4,
+        num_lists: int = 0,
+        nprobe: int = 1,
     ) -> "Pipeline":
         """Rebuild a pipeline from a checkpoint in milliseconds — no training.
 
@@ -277,7 +293,9 @@ class Pipeline:
         architecture rather than a default one.  ``num_shards``/``backend``/
         ``num_workers``/``worker_addrs`` configure the serving engine exactly
         as in the constructor — sharding and backend placement are serving
-        knobs, not checkpoint properties.
+        knobs, not checkpoint properties — and ``retrieval`` (plus
+        ``candidate_factor``/``num_lists``/``nprobe``) selects exact or
+        two-stage approximate top-k the same way.
 
         The path is validated up front (exists, regular file, ``.npz``) so a
         typo fails with one clear :class:`~repro.io.checkpoint.CheckpointError`
@@ -310,6 +328,10 @@ class Pipeline:
             backend=backend,
             num_workers=num_workers,
             worker_addrs=worker_addrs,
+            retrieval=retrieval,
+            candidate_factor=candidate_factor,
+            num_lists=num_lists,
+            nprobe=nprobe,
             **overrides,
         )
         pipeline._model = model

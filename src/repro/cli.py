@@ -40,6 +40,11 @@ pluggable compute backend: serial ``numpy``, a ``threads`` pool, a
 ``processes`` pool (weights in shared memory), or ``remote`` shard workers
 (``--worker-addr host:port``, one per running ``repro shard-worker``);
 answers are bit-identical whatever the placement — see docs/SERVING.md.
+``--retrieval approx`` (with ``--candidate-factor``/``--num-lists``/
+``--nprobe``) swaps the exhaustive top-k scan for the two-stage
+int8-first-pass + exact-re-rank tier: sub-linear in vocabulary size,
+returned scores still bit-exact, per-request fallback to exact when the
+candidate pool cannot certify ``k`` results.
 
 ``shard-worker`` runs one such worker: a model-free scoring server that
 receives weight snapshots and shard tasks over TCP.
@@ -74,6 +79,8 @@ examples:
       --max-pending 256 --client-quota 16 --idle-timeout 60   # event loop
   repro serve --checkpoint smgcn.npz --port 7654 --frontend threads
   repro serve --checkpoint smgcn.npz --shards 4 --backend processes --workers 4
+  repro serve --checkpoint smgcn.npz --retrieval approx --candidate-factor 4
+  repro serve --checkpoint smgcn.npz --retrieval approx --num-lists 64 --nprobe 8
   repro shard-worker --port 7801      # one model-free scoring worker
   repro serve --checkpoint smgcn.npz --shards 4 --backend remote \\
       --worker-addr 127.0.0.1:7801 --worker-addr 127.0.0.1:7802
@@ -336,6 +343,38 @@ def _add_serving_arguments(parser: argparse.ArgumentParser, multi_model: bool = 
         help="address of a running `repro shard-worker` (repeat once per "
         "worker; requires --backend remote)",
     )
+    parser.add_argument(
+        "--retrieval",
+        default="exact",
+        choices=("exact", "approx"),
+        help="top-k retrieval mode: 'exact' scans every herb per request "
+        "(default, the bit-exact oracle); 'approx' runs an int8-quantized "
+        "first pass keeping candidate_factor*k survivors and re-scores them "
+        "with the exact fixed-tile arithmetic, falling back to exact per "
+        "request whenever the pool cannot certify k results",
+    )
+    parser.add_argument(
+        "--candidate-factor",
+        type=int,
+        default=4,
+        help="survivor-pool multiplier for --retrieval approx: the first "
+        "pass keeps candidate-factor*k herbs per request (default: 4)",
+    )
+    parser.add_argument(
+        "--num-lists",
+        type=int,
+        default=0,
+        help="IVF coarse-partition size for --retrieval approx: k-means the "
+        "herb embeddings into this many lists so each query scans only the "
+        "--nprobe closest ones (default: 0 = full int8 scan)",
+    )
+    parser.add_argument(
+        "--nprobe",
+        type=int,
+        default=1,
+        help="how many IVF lists to probe per request with --num-lists "
+        "(default: 1; clamped to the number of lists)",
+    )
 
 
 def _render(result) -> str:
@@ -379,6 +418,10 @@ def _build_pipeline(args):
         backend=args.backend,
         num_workers=args.workers,
         worker_addrs=args.worker_addr,
+        retrieval=args.retrieval,
+        candidate_factor=args.candidate_factor,
+        num_lists=args.num_lists,
+        nprobe=args.nprobe,
     ).fit()
 
 
@@ -416,13 +459,20 @@ def _check_sharding(args) -> Optional[int]:
             file=sys.stderr,
         )
         return 2
-    if args.shards == 1 and (
-        args.workers is not None
-        or args.worker_addr
-        or args.backend not in (None, "numpy")
+    if (
+        args.shards == 1
+        and args.retrieval == "exact"
+        and (
+            args.workers is not None
+            or args.worker_addr
+            or args.backend not in (None, "numpy")
+        )
     ):
+        # approx retrieval runs its exact re-rank through the backend even
+        # with one shard, so the backend knobs stay meaningful there
         print(
-            "error: --backend/--workers/--worker-addr only take effect with --shards >= 2",
+            "error: --backend/--workers/--worker-addr only take effect with "
+            "--shards >= 2 or --retrieval approx",
             file=sys.stderr,
         )
         return 2
@@ -445,6 +495,29 @@ def _check_sharding(args) -> Optional[int]:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    return _check_retrieval(args)
+
+
+def _check_retrieval(args) -> Optional[int]:
+    """Validate --retrieval/--candidate-factor/--num-lists/--nprobe up front."""
+    if args.candidate_factor < 1:
+        print("error: --candidate-factor must be >= 1", file=sys.stderr)
+        return 2
+    if args.num_lists < 0:
+        print("error: --num-lists must be >= 0", file=sys.stderr)
+        return 2
+    if args.nprobe < 1:
+        print("error: --nprobe must be >= 1", file=sys.stderr)
+        return 2
+    if args.retrieval == "exact" and (
+        args.candidate_factor != 4 or args.num_lists != 0 or args.nprobe != 1
+    ):
+        print(
+            "error: --candidate-factor/--num-lists/--nprobe only take effect "
+            "with --retrieval approx",
+            file=sys.stderr,
+        )
+        return 2
     return None
 
 
@@ -598,6 +671,10 @@ def _load_or_none(args):
         backend=args.backend,
         num_workers=args.workers,
         worker_addrs=args.worker_addr,
+        retrieval=args.retrieval,
+        candidate_factor=args.candidate_factor,
+        num_lists=args.num_lists,
+        nprobe=args.nprobe,
     )
     if args.model is not None and args.model != pipeline.model_name:
         raise ValueError(
@@ -667,6 +744,10 @@ def _build_catalog(args, model_specs):
             backend=args.backend,
             num_workers=args.workers,
             worker_addrs=args.worker_addr,
+            retrieval=args.retrieval,
+            candidate_factor=args.candidate_factor,
+            num_lists=args.num_lists,
+            nprobe=args.nprobe,
         )
         warm(pipeline)
         catalog.add(name, pipeline, checkpoint_path=path)

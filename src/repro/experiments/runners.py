@@ -132,6 +132,10 @@ def build_inference_engine(
     backend=None,
     num_workers: Optional[int] = None,
     worker_addrs=None,
+    retrieval: str = "exact",
+    candidate_factor: int = 4,
+    num_lists: int = 0,
+    nprobe: int = 1,
     **model_overrides,
 ) -> InferenceEngine:
     """Train a neural model on the profile's split and wrap it for serving.
@@ -141,7 +145,9 @@ def build_inference_engine(
     ``num_shards``/``backend``/``num_workers``/``worker_addrs`` select
     column-sharded scoring and its compute backend — in-process, process
     pool, or remote shard workers (see :mod:`repro.inference.backends`);
-    answers are bit-identical across those settings.
+    answers are bit-identical across those settings.  ``retrieval="approx"``
+    (with ``candidate_factor``/``num_lists``/``nprobe``) serves top-k through
+    the two-stage approximate tier of :mod:`repro.inference.retrieval`.
     """
     model, _ = train_neural_model(
         name, scale=scale, trainer_config=trainer_config, seed=seed, **model_overrides
@@ -153,6 +159,10 @@ def build_inference_engine(
         backend=backend,
         num_workers=num_workers,
         worker_addrs=worker_addrs,
+        retrieval=retrieval,
+        candidate_factor=candidate_factor,
+        num_lists=num_lists,
+        nprobe=nprobe,
     ).warm_up()
 
 

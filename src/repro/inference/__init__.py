@@ -17,6 +17,13 @@ unsharded path.  Shard work travels as picklable
 serial NumPy/BLAS, a thread pool, a process pool over shared memory, remote
 shard-worker servers (:mod:`~repro.inference.distributed`), or anything
 registered via :func:`~repro.inference.backends.register_backend`.
+
+For vocabularies where even one full scan per request is too much,
+:mod:`~repro.inference.retrieval` adds a sub-linear two-stage top-k: an
+int8-quantized first pass (optionally IVF-partitioned) keeps a small survivor
+pool, which is then re-scored through the identical fixed-tile arithmetic —
+so listed scores stay bit-exact while only recall is approximate, and the
+exact path remains the default oracle (``retrieval="exact"``).
 """
 
 from .backends import (
@@ -36,13 +43,18 @@ from .distributed import (
     ShardWorkerHandler,
     ShardWorkerServer,
 )
-from .engine import MAX_CACHED_INDEX_VERSIONS, InferenceEngine, Recommendation
+from .engine import MAX_CACHED_INDEX_VERSIONS, RETRIEVAL_MODES, InferenceEngine, Recommendation
+from .retrieval import ApproxHerbIndex, RetrievalReport, kmeans_partition
 from .sharding import HerbShard, ShardedHerbIndex, merge_topk
 
 __all__ = [
     "InferenceEngine",
     "MAX_CACHED_INDEX_VERSIONS",
+    "RETRIEVAL_MODES",
     "Recommendation",
+    "ApproxHerbIndex",
+    "RetrievalReport",
+    "kmeans_partition",
     "ComputeBackend",
     "NumpyBackend",
     "ShardTask",

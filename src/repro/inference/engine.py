@@ -31,16 +31,24 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..evaluation.metrics import top_k_indices
 from ..models.base import GraphHerbRecommender
 from .backends import ComputeBackend, get_backend
+from .retrieval import ApproxHerbIndex, RetrievalReport
 from .sharding import ShardedHerbIndex
 
-__all__ = ["InferenceEngine", "Recommendation", "MAX_CACHED_INDEX_VERSIONS"]
+__all__ = ["InferenceEngine", "Recommendation", "MAX_CACHED_INDEX_VERSIONS", "RETRIEVAL_MODES"]
+
+#: Valid values for ``InferenceEngine(retrieval=...)``: ``"exact"`` scans the
+#: full vocabulary per request (the default, and the oracle); ``"approx"``
+#: serves top-k through the two-stage :class:`~repro.inference.retrieval.
+#: ApproxHerbIndex` (int8 first pass, exact tile re-rank, per-request exact
+#: fallback).
+RETRIEVAL_MODES = ("exact", "approx")
 
 #: How many parameter versions of the shard index the engine keeps.  Serving
 #: only ever scores against the latest version; one predecessor is kept so
@@ -73,6 +81,15 @@ class InferenceEngine:
     instance; ``num_workers`` sizes the pooled backends and ``worker_addrs``
     lists the ``host:port`` shard workers for ``"remote"``.  With the default
     ``num_shards=1`` everything flows through ``model.score_sets`` unchanged.
+
+    ``retrieval="approx"`` serves top-k through the two-stage
+    :class:`~repro.inference.retrieval.ApproxHerbIndex` (int8-quantized first
+    pass keeping ``candidate_factor * k`` survivors, exact fixed-tile
+    re-rank, optional IVF partition via ``num_lists``/``nprobe``) — sub-linear
+    in vocabulary size, with per-request fallback to the exact index whenever
+    the candidate pool cannot certify ``k`` results.  The default
+    ``retrieval="exact"`` is the oracle and stays bit-identical regardless of
+    any of these knobs.
     """
 
     def __init__(
@@ -83,6 +100,11 @@ class InferenceEngine:
         backend: Union[str, ComputeBackend, None] = None,
         num_workers: Optional[int] = None,
         worker_addrs: Optional[Sequence[str]] = None,
+        retrieval: str = "exact",
+        candidate_factor: int = 4,
+        num_lists: int = 0,
+        nprobe: int = 1,
+        retrieval_seed: int = 0,
     ) -> None:
         if not isinstance(model, GraphHerbRecommender):
             raise TypeError(
@@ -92,9 +114,22 @@ class InferenceEngine:
             raise ValueError("batch_size must be positive")
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if retrieval not in RETRIEVAL_MODES:
+            raise ValueError(f"retrieval must be one of {RETRIEVAL_MODES}, got {retrieval!r}")
+        if candidate_factor < 1:
+            raise ValueError("candidate_factor must be >= 1")
+        if num_lists < 0:
+            raise ValueError("num_lists must be >= 0")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
         self.model = model
         self.batch_size = batch_size
         self.num_shards = num_shards
+        self.retrieval = retrieval
+        self.candidate_factor = int(candidate_factor)
+        self.num_lists = int(num_lists)
+        self.nprobe = int(nprobe)
+        self.retrieval_seed = int(retrieval_seed)
         self.backend = get_backend(backend, num_workers=num_workers, worker_addrs=worker_addrs)
         # The sharded fast path re-implements only the *base* scoring recipe
         # (encode_syndrome + tile matmuls).  A subclass that overrides
@@ -116,6 +151,13 @@ class InferenceEngine:
         #: eviction racing an in-flight ``recommend_batch`` can never pull a
         #: snapshot out from under live scoring.
         self._retired: Dict[str, ShardedHerbIndex] = {}
+        #: snapshot key -> quantized approx index, built lazily per version
+        #: alongside the shard index and dropped the moment that version
+        #: leaves the LRU — the quantization is version-stamped through the
+        #: snapshot key, so a reload/rollout can never serve stale codes.
+        self._approx_cache: Dict[str, ApproxHerbIndex] = {}
+        #: Cumulative approximate-retrieval counters (the ``stats`` line).
+        self._retrieval_counters = RetrievalReport()
 
     # ------------------------------------------------------------------
     # Cache handling
@@ -131,10 +173,24 @@ class InferenceEngine:
         """
         return self.num_shards > 1 and self._base_scoring
 
+    @property
+    def retrieval_active(self) -> bool:
+        """Whether top-k requests take the approximate two-stage path.
+
+        False for ``retrieval="exact"``, and also for models that override
+        ``score_sets`` — like sharding, the approx first pass reproduces only
+        the base scoring recipe, so a custom score definition keeps answering
+        exactly rather than being pruned by the wrong formula.
+        """
+        return self.retrieval == "approx" and self._base_scoring
+
     def warm_up(self) -> "InferenceEngine":
-        """Force the propagation (and shard build) now, before taking traffic."""
+        """Force the propagation (and index builds) now, before taking traffic."""
         self.model.cached_encode()
-        if self.sharding_active:
+        if self.retrieval_active:
+            with self._lease_index(with_approx=True):
+                pass
+        elif self.sharding_active:
             self.herb_index()
         return self
 
@@ -158,6 +214,7 @@ class InferenceEngine:
             self._index_cache.clear()
             self._retired.clear()
             self._leases.clear()
+            self._approx_cache.clear()
         for key in stale_keys:
             self.backend.release_snapshot(key)
         self.backend.close()
@@ -192,9 +249,27 @@ class InferenceEngine:
             self._index_cache.move_to_end(version)
         return index
 
+    def _approx_index_locked(self, index: ShardedHerbIndex) -> ApproxHerbIndex:
+        """The quantized approx index for ``index``'s snapshot, built once."""
+        key = index.snapshot.key
+        approx = self._approx_cache.get(key)
+        if approx is None:
+            approx = ApproxHerbIndex(
+                index.snapshot,
+                candidate_factor=self.candidate_factor,
+                num_lists=self.num_lists,
+                nprobe=self.nprobe,
+                seed=self.retrieval_seed,
+            )
+            self._approx_cache[key] = approx
+        return approx
+
     def _retire_locked(self, stale: ShardedHerbIndex) -> None:
         """Release an evicted index now, or park it until its leases drain."""
         key = stale.snapshot.key
+        # the quantization dies with its LRU slot: in-flight calls hold their
+        # own reference, so dropping the cache entry is always safe
+        self._approx_cache.pop(key, None)
         if self._leases.get(key, 0) > 0:
             self._retired[key] = stale
         else:
@@ -202,20 +277,23 @@ class InferenceEngine:
             self.backend.release_snapshot(key)
 
     @contextmanager
-    def _lease_index(self) -> Iterator[ShardedHerbIndex]:
+    def _lease_index(self, with_approx: bool = False):
         """The current shard index, pinned for the duration of one scoring call.
 
         While leased, an LRU eviction of this index defers the backend
         ``release_snapshot`` to the last checkin — so concurrent weight
         rollouts can never release a snapshot that live requests still score
-        against.
+        against.  With ``with_approx`` the matching quantized index is built
+        (or fetched) under the same lock and yielded alongside, pinned by the
+        same lease — the pair is guaranteed to wrap one snapshot.
         """
         with self._cache_lock:
             index = self._herb_index_locked()
             key = index.snapshot.key
+            approx = self._approx_index_locked(index) if with_approx else None
             self._leases[key] = self._leases.get(key, 0) + 1
         try:
-            yield index
+            yield (index, approx) if with_approx else index
         finally:
             release = False
             with self._cache_lock:
@@ -247,6 +325,19 @@ class InferenceEngine:
             status["cached_index_versions"] = len(self._index_cache)
             if self._retired:
                 status["draining_index_versions"] = len(self._retired)
+            status["retrieval"] = "approx" if self.retrieval_active else "exact"
+            if self.retrieval_active:
+                status["candidate_factor"] = self.candidate_factor
+                if self.num_lists >= 2:
+                    status["num_lists"] = self.num_lists
+                    status["nprobe"] = self.nprobe
+                counters = self._retrieval_counters
+                status["approx_requests"] = counters.rows
+                status["approx_fallbacks"] = counters.fallback_rows
+                approx_rows = counters.rows - counters.fallback_rows
+                status["approx_pool_mean"] = round(
+                    counters.candidates / approx_rows if approx_rows else 0.0, 1
+                )
         return status
 
     @property
@@ -309,6 +400,8 @@ class InferenceEngine:
             raise ValueError("k must be positive")
         if len(symptom_sets) == 0:
             return []
+        if self.retrieval_active:
+            return self._recommend_approx(symptom_sets, ks)
         if self.sharding_active:
             return self._recommend_sharded(symptom_sets, ks)
         scores = self.score_batch(symptom_sets)
@@ -348,6 +441,43 @@ class InferenceEngine:
                             scores=tuple(float(s) for s in scores[row, :keep]),
                         )
                     )
+        return results
+
+    def _recommend_approx(
+        self, symptom_sets: Sequence[Sequence[int]], ks: List[int]
+    ) -> List[Recommendation]:
+        """Two-stage top-k: int8 first pass, exact tile re-rank, exact fallback.
+
+        Every returned score comes from the exact fixed-tile arithmetic (the
+        re-rank and the fallback both run it), so approximation only affects
+        which herbs make the list — never a listed herb's score or the
+        relative order of listed herbs.  Requests whose candidate pool cannot
+        certify ``k`` results fall back to the exact index individually;
+        the counters feed ``backend_status()`` and the serving ``stats`` line.
+        """
+        self.model.cached_encode()
+        results: List[Recommendation] = []
+        report = RetrievalReport()
+        with self._lease_index(with_approx=True) as (index, approx):
+            for start in range(0, len(symptom_sets), self.batch_size):
+                chunk = symptom_sets[start : start + self.batch_size]
+                syndrome = self.model.encode_syndrome(chunk)
+                rows, chunk_report = approx.topk(
+                    syndrome,
+                    ks[start : start + len(chunk)],
+                    backend=self.backend,
+                    exact_index=index,
+                )
+                report.merge(chunk_report)
+                for ids, scores in rows:
+                    results.append(
+                        Recommendation(
+                            herb_ids=tuple(int(h) for h in ids),
+                            scores=tuple(float(s) for s in scores),
+                        )
+                    )
+        with self._cache_lock:
+            self._retrieval_counters.merge(report)
         return results
 
     def recommend(self, symptom_set: Sequence[int], k: int = 20) -> Recommendation:

@@ -1,0 +1,449 @@
+"""Two-stage approximate top-k retrieval: int8 first pass + exact tile re-rank.
+
+Exact serving (:class:`~repro.inference.sharding.ShardedHerbIndex`) is linear
+in vocabulary size: every request scores every herb and ranks the full row.
+:class:`ApproxHerbIndex` makes top-k sub-linear with the classic
+retrieve-then-re-rank shape:
+
+1. **First pass (approximate, cheap).**  Herb embeddings are stored as
+   symmetric per-herb int8 quantizations
+   (:meth:`~repro.models.base.WeightSnapshot.quantize`); queries score them
+   in float32 through the same fixed ``(row_block, HERB_BLOCK)`` tile grid as
+   the exact path and keep a ``candidate_factor * k`` survivor pool per
+   request.  An optional IVF-style coarse partition (seeded k-means over the
+   herb embeddings, ``nprobe`` lists probed per query) restricts the scan to
+   a fraction of the vocabulary.
+2. **Re-rank (exact, bit-faithful).**  Survivors map to their covering
+   :data:`~repro.models.base.HERB_BLOCK` tiles; contiguous tiles merge into
+   interval :class:`~repro.inference.backends.ShardTask`\\ s executed through
+   any registered :class:`~repro.inference.backends.ComputeBackend` (serial,
+   threads, processes, remote).  Those tasks run the *identical* fixed-block
+   arithmetic as ``score_sets(herb_range=...)``, so every returned score is
+   bit-identical to the exact oracle's score for the same ``(request, herb)``
+   pair, and the final ranking applies the canonical tie-break
+   (score descending, id ascending).
+
+Determinism invariants (pinned by ``tests/inference/test_retrieval.py``):
+
+* A request's candidate pool is a function of that request alone — first-pass
+  matmuls run per fixed row block over per-list matrices whose shapes are
+  frozen at build time, and pool-boundary ties resolve canonically (keep ids
+  scoring strictly above the boundary value, fill with boundary-tied ids in
+  ascending order) — so batching never changes an answer.
+* Re-ranked scores are produced by the same tile grid as the exact path:
+  approximation can only affect *which* herbs survive to the re-rank (the
+  recall dimension), never the score or relative order of survivors.
+* Any request whose scanned pool cannot certify ``k`` results (``k`` larger
+  than the probed candidate pool, or a pool so large pruning is pointless)
+  falls back to the exact index for that request alone, so answers are
+  always full-length.
+
+Recall is certified offline: the test harness and
+``benchmarks/bench_approx_topk.py`` hard-gate recall@k >= 0.99 against the
+exact oracle; serving surfaces fallback/pool counters through
+``InferenceEngine.backend_status()`` into the ``stats`` control line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..models.base import HERB_BLOCK, WeightSnapshot, score_herb_tiles
+from .backends import ComputeBackend, NumpyBackend, ShardTask
+from .sharding import ShardedHerbIndex
+
+__all__ = ["ApproxHerbIndex", "RetrievalReport", "kmeans_partition"]
+
+
+def _nearest_centroids(data: np.ndarray, centroids: np.ndarray, chunk: int = 65536) -> np.ndarray:
+    """Index of the L2-nearest centroid per row (chunked, deterministic)."""
+    centroid_norms = np.einsum("ij,ij->i", centroids, centroids)
+    nearest = np.empty(data.shape[0], dtype=np.int64)
+    for start in range(0, data.shape[0], chunk):
+        block = data[start : start + chunk]
+        # argmin over ||x - c||^2 == argmin over ||c||^2 - 2 x.c (drop ||x||^2)
+        distances = centroid_norms[None, :] - 2.0 * (block @ centroids.T)
+        nearest[start : start + block.shape[0]] = np.argmin(distances, axis=1)
+    return nearest
+
+
+def kmeans_partition(
+    matrix: np.ndarray,
+    num_lists: int,
+    seed: int = 0,
+    iterations: int = 10,
+    sample_size: int = 100_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded L2 k-means over embedding rows — the IVF coarse quantizer.
+
+    Fully deterministic for a given ``(matrix, num_lists, seed)``: seeded
+    init, argmin assignment (ties to the lowest centroid id), fixed iteration
+    count.  Training runs on a seeded subsample beyond ``sample_size`` rows;
+    the final assignment always covers every row.  Returns
+    ``(assignments, centroids)`` with float32 centroids; empty clusters keep
+    their previous centroid (callers drop lists that end up empty).
+    """
+    data = np.ascontiguousarray(np.asarray(matrix), dtype=np.float32)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("kmeans_partition expects a non-empty (rows, dim) matrix")
+    k = max(1, min(int(num_lists), data.shape[0]))
+    rng = np.random.default_rng(seed)
+    if data.shape[0] > sample_size:
+        train = data[np.sort(rng.choice(data.shape[0], sample_size, replace=False))]
+    else:
+        train = data
+    centroids = train[np.sort(rng.choice(train.shape[0], k, replace=False))].copy()
+    for _ in range(iterations):
+        assignments = _nearest_centroids(train, centroids)
+        sums = np.zeros((k, data.shape[1]), dtype=np.float64)
+        np.add.at(sums, assignments, train)
+        counts = np.bincount(assignments, minlength=k)
+        populated = counts > 0
+        centroids[populated] = (sums[populated] / counts[populated, None]).astype(np.float32)
+    return _nearest_centroids(data, centroids), centroids
+
+
+@dataclass(frozen=True, eq=False)
+class _InvertedList:
+    """One coarse partition: quantized member rows plus the global-id mapping."""
+
+    #: ``(size,)`` int64 global herb ids, ascending.
+    ids: np.ndarray = field(repr=False)
+    #: ``(size, dim)`` float32 copy of the int8 codes — the BLAS-friendly
+    #: first-pass operand (integer matmuls bypass BLAS entirely).
+    codes32: np.ndarray = field(repr=False)
+    #: ``(size,)`` float32 per-herb scale factors.
+    scales32: np.ndarray = field(repr=False)
+
+
+@dataclass
+class RetrievalReport:
+    """Counters for one :meth:`ApproxHerbIndex.topk` call."""
+
+    #: Requests answered (approx + fallback).
+    rows: int = 0
+    #: Requests that fell back to the exact index.
+    fallback_rows: int = 0
+    #: Sum of survivor-pool sizes over the approx-answered requests.
+    candidates: int = 0
+
+    def merge(self, other: "RetrievalReport") -> None:
+        self.rows += other.rows
+        self.fallback_rows += other.fallback_rows
+        self.candidates += other.candidates
+
+
+class ApproxHerbIndex:
+    """Int8 first pass + exact tile re-rank over one weight snapshot.
+
+    Built from a :class:`~repro.models.base.WeightSnapshot` (or a bare matrix,
+    wrapped like :class:`~repro.inference.sharding.ShardedHerbIndex` does) and
+    therefore parameter-version-stamped: the engine caches one instance per
+    snapshot key and drops it with the shard-index LRU, so a stale
+    quantization can never outlive its weights.
+
+    ``candidate_factor`` sizes the survivor pool (``candidate_factor * k``
+    per request).  ``num_lists >= 2`` enables the IVF partition with
+    ``nprobe`` lists probed per query; ``num_lists in (0, 1)`` keeps a single
+    list covering the whole vocabulary (the first pass is then a full int8
+    scan).  ``nprobe`` is clamped to the number of non-empty lists.
+    """
+
+    def __init__(
+        self,
+        source: Union[np.ndarray, WeightSnapshot],
+        candidate_factor: int = 4,
+        num_lists: int = 0,
+        nprobe: int = 1,
+        seed: int = 0,
+        row_block: Optional[int] = None,
+    ) -> None:
+        if isinstance(source, WeightSnapshot):
+            snapshot = source
+        else:
+            matrix = np.asarray(source)
+            if matrix.ndim != 2 or matrix.shape[0] == 0:
+                raise ValueError("herb_embeddings must be a non-empty (num_herbs, dim) matrix")
+            snapshot = WeightSnapshot.from_matrix(matrix)
+        if candidate_factor < 1:
+            raise ValueError("candidate_factor must be >= 1")
+        if num_lists < 0:
+            raise ValueError("num_lists must be >= 0")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if row_block is not None and row_block <= 0:
+            raise ValueError("row_block must be positive")
+        self.snapshot = snapshot
+        self.num_herbs = snapshot.num_herbs
+        self.dim = snapshot.dim
+        self.row_block = int(row_block) if row_block is not None else int(snapshot.row_block)
+        self.candidate_factor = int(candidate_factor)
+        self.seed = int(seed)
+        quantized = snapshot.quantize()
+        #: The int8 codes and float64 scales (introspection/testing; the
+        #: scoring path uses the float32 copies inside the lists).
+        self.codes = quantized.codes
+        self.scales = quantized.scales
+        scales32 = quantized.scales.astype(np.float32)
+        if num_lists >= 2 and self.num_herbs >= 2:
+            assignments, centroids = kmeans_partition(
+                snapshot.herb_embeddings, num_lists, seed=seed
+            )
+            lists: List[_InvertedList] = []
+            kept_centroids: List[np.ndarray] = []
+            for list_id in range(centroids.shape[0]):
+                member_ids = np.flatnonzero(assignments == list_id).astype(np.int64)
+                if member_ids.size == 0:
+                    continue
+                lists.append(
+                    _InvertedList(
+                        ids=member_ids,
+                        codes32=np.ascontiguousarray(
+                            quantized.codes[member_ids], dtype=np.float32
+                        ),
+                        scales32=scales32[member_ids],
+                    )
+                )
+                kept_centroids.append(centroids[list_id])
+            self.lists: Tuple[_InvertedList, ...] = tuple(lists)
+            self.centroids32: Optional[np.ndarray] = np.ascontiguousarray(
+                np.vstack(kept_centroids), dtype=np.float32
+            )
+        else:
+            self.lists = (
+                _InvertedList(
+                    ids=np.arange(self.num_herbs, dtype=np.int64),
+                    codes32=np.ascontiguousarray(quantized.codes, dtype=np.float32),
+                    scales32=scales32,
+                ),
+            )
+            self.centroids32 = None
+        self.num_lists = len(self.lists)
+        self.nprobe = min(max(1, int(nprobe)), self.num_lists)
+        self._exact_index: Optional[ShardedHerbIndex] = None
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        candidate_factor: int = 4,
+        num_lists: int = 0,
+        nprobe: int = 1,
+        seed: int = 0,
+    ) -> "ApproxHerbIndex":
+        """Build from a model's snapshot export (triggering propagation if stale)."""
+        return cls(
+            model.export_snapshot(),
+            candidate_factor=candidate_factor,
+            num_lists=num_lists,
+            nprobe=nprobe,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # First pass
+    # ------------------------------------------------------------------
+    def _probed_lists(self, syndrome32: np.ndarray, num_rows: int) -> np.ndarray:
+        """``(num_rows, nprobe)`` list ids per request, canonically ordered.
+
+        Probing ranks lists by the query-centroid inner product (the IVF-IP
+        convention) under the canonical tie-break — via a stable argsort on
+        the negated scores, ties fall to the lower list id.
+        """
+        if self.num_lists == 1:
+            return np.zeros((num_rows, 1), dtype=np.int64)
+        centroid_scores = score_herb_tiles(
+            syndrome32, self.centroids32, row_block=self.row_block
+        )[:num_rows]
+        return np.argsort(-centroid_scores, axis=1, kind="stable")[:, : self.nprobe]
+
+    @staticmethod
+    def _select_pool(scores: np.ndarray, ids: np.ndarray, pool: int) -> np.ndarray:
+        """The canonical ``pool``-sized survivor set of one request.
+
+        ``argpartition`` finds the boundary value in O(n); the boundary is
+        then resolved canonically — every id scoring strictly above the
+        boundary survives, and the remaining slots fill with boundary-tied
+        ids in ascending order — so the survivor *set* never depends on the
+        partition's internal (unspecified) ordering, and quantization ties
+        across the pool boundary resolve exactly like exact-path score ties.
+        """
+        boundary_pick = np.argpartition(-scores, pool - 1)[:pool]
+        boundary = scores[boundary_pick].min()
+        above = ids[scores > boundary]
+        tied = np.sort(ids[scores == boundary])
+        return np.concatenate([above, tied[: pool - above.size]])
+
+    def candidates(
+        self, syndrome: np.ndarray, ks: Sequence[int]
+    ) -> Tuple[List[Optional[np.ndarray]], List[int]]:
+        """First-pass survivor pools: ``(per-row id arrays, fallback rows)``.
+
+        ``syndrome`` is the float64 row-padded block from
+        ``encode_syndrome``; ``ks`` holds one requested k per real row.  A
+        row's entry is ``None`` (and its index appears in the fallback list)
+        when the scanned pool cannot certify ``min(k, num_herbs)`` results or
+        when pruning is pointless (``candidate_factor * k`` reaches the whole
+        vocabulary).
+        """
+        num_rows = len(ks)
+        syndrome32 = np.ascontiguousarray(syndrome, dtype=np.float32)
+        probes = self._probed_lists(syndrome32, num_rows)
+        approx_scores: Dict[int, np.ndarray] = {}
+        for list_id in np.unique(probes):
+            inverted = self.lists[int(list_id)]
+            raw = score_herb_tiles(syndrome32, inverted.codes32, row_block=self.row_block)
+            approx_scores[int(list_id)] = raw[:num_rows] * inverted.scales32[None, :]
+        survivors: List[Optional[np.ndarray]] = [None] * num_rows
+        fallback_rows: List[int] = []
+        for row in range(num_rows):
+            row_lists = [int(list_id) for list_id in probes[row]]
+            scores = np.concatenate([approx_scores[list_id][row] for list_id in row_lists])
+            ids = np.concatenate([self.lists[list_id].ids for list_id in row_lists])
+            pool = self.candidate_factor * int(ks[row])
+            if scores.size < min(int(ks[row]), self.num_herbs) or pool >= self.num_herbs:
+                fallback_rows.append(row)
+                continue
+            if pool >= scores.size:
+                survivors[row] = np.sort(ids)
+            else:
+                survivors[row] = np.sort(self._select_pool(scores, ids, pool))
+        return survivors, fallback_rows
+
+    # ------------------------------------------------------------------
+    # Exact re-rank + fallback
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tile_runs(candidate_ids: np.ndarray, num_herbs: int) -> List[Tuple[int, int]]:
+        """Covering HERB_BLOCK tiles of ``candidate_ids``, merged into runs."""
+        tiles = np.unique(candidate_ids // HERB_BLOCK)
+        runs: List[Tuple[int, int]] = []
+        run_start = previous = int(tiles[0])
+        for tile in tiles[1:]:
+            tile = int(tile)
+            if tile != previous + 1:
+                runs.append((run_start * HERB_BLOCK, min(num_herbs, (previous + 1) * HERB_BLOCK)))
+                run_start = tile
+            previous = tile
+        runs.append((run_start * HERB_BLOCK, min(num_herbs, (previous + 1) * HERB_BLOCK)))
+        return runs
+
+    def _rerank(
+        self,
+        syndrome: np.ndarray,
+        survivors: List[Optional[np.ndarray]],
+        rows: List[int],
+        ks: Sequence[int],
+        backend: ComputeBackend,
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]],
+    ) -> None:
+        """Score survivors exactly and rank them canonically.
+
+        The candidate union maps to covering tiles merged into contiguous
+        intervals; each interval becomes one ``op="score"`` ShardTask, so the
+        scores come out of the identical ``(row_block, HERB_BLOCK)`` tile
+        grid as ``score_sets(herb_range=...)`` — bit-identical to the exact
+        oracle wherever the task executes.
+        """
+        union = np.unique(np.concatenate([survivors[row] for row in rows]))
+        runs = self._tile_runs(union, self.num_herbs)
+        tasks = [
+            ShardTask(
+                op="score",
+                shard_index=index,
+                start=start,
+                stop=stop,
+                snapshot_key=self.snapshot.key,
+                row_block=self.row_block,
+                num_rows=syndrome.shape[0],
+                syndrome=syndrome,
+                k=0,
+            )
+            for index, (start, stop) in enumerate(runs)
+        ]
+        pieces = backend.run_tasks(self.snapshot, tasks)
+        run_starts = np.array([start for start, _ in runs], dtype=np.int64)
+        for row in rows:
+            ids = survivors[row]
+            piece_index = np.searchsorted(run_starts, ids, side="right") - 1
+            offsets = ids - run_starts[piece_index]
+            exact = np.array(
+                [pieces[p][row, o] for p, o in zip(piece_index, offsets)], dtype=np.float64
+            )
+            order = np.lexsort((ids, -exact))[: min(int(ks[row]), ids.size)]
+            results[row] = (ids[order], exact[order])
+
+    def _fallback(
+        self,
+        syndrome: np.ndarray,
+        rows: List[int],
+        ks: Sequence[int],
+        backend: ComputeBackend,
+        exact_index: ShardedHerbIndex,
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]],
+    ) -> None:
+        """Answer ``rows`` through the exact index (full scan, canonical rank)."""
+        block = np.zeros(
+            ((-(-len(rows) // self.row_block)) * self.row_block, syndrome.shape[1]),
+            dtype=np.float64,
+        )
+        block[: len(rows)] = syndrome[rows]
+        k_max = max(min(int(ks[row]), self.num_herbs) for row in rows)
+        ids, scores = exact_index.topk(block, len(rows), k_max, backend=backend)
+        for position, row in enumerate(rows):
+            keep = min(int(ks[row]), ids.shape[1])
+            results[row] = (ids[position, :keep].copy(), scores[position, :keep].copy())
+
+    def topk(
+        self,
+        syndrome: np.ndarray,
+        ks: Sequence[int],
+        backend: Optional[ComputeBackend] = None,
+        exact_index: Optional[ShardedHerbIndex] = None,
+    ) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], RetrievalReport]:
+        """Two-stage top-k for one row-padded syndrome block.
+
+        ``syndrome`` comes from ``encode_syndrome`` (float64, rows padded to
+        ``row_block``); ``ks`` holds the requested k for each real row.
+        Returns one ``(ids, scores)`` pair per row — scores exact and
+        canonically ordered, arrays of length ``min(k, num_herbs)`` — plus
+        the :class:`RetrievalReport` for this call.  ``exact_index`` handles
+        fallback rows and must wrap the same snapshot (the engine passes its
+        leased shard index); by default a private single-shard exact index is
+        built lazily.
+        """
+        if len(ks) == 0:
+            return [], RetrievalReport()
+        if any(int(k) <= 0 for k in ks):
+            raise ValueError("k must be positive")
+        if syndrome.shape[0] < len(ks) or syndrome.shape[0] % self.row_block:
+            raise ValueError(
+                f"syndrome block of {syndrome.shape[0]} rows does not cover {len(ks)} "
+                f"requests padded to row_block={self.row_block}"
+            )
+        backend = backend if backend is not None else NumpyBackend()
+        if exact_index is None:
+            if self._exact_index is None:
+                self._exact_index = ShardedHerbIndex(self.snapshot, num_shards=1)
+            exact_index = self._exact_index
+        elif exact_index.snapshot.key != self.snapshot.key:
+            raise ValueError(
+                f"exact index wraps snapshot {exact_index.snapshot.key!r} but this approx "
+                f"index quantized {self.snapshot.key!r} — stale index after a weight update?"
+            )
+        survivors, fallback_rows = self.candidates(syndrome, ks)
+        report = RetrievalReport(
+            rows=len(ks),
+            fallback_rows=len(fallback_rows),
+            candidates=sum(ids.size for ids in survivors if ids is not None),
+        )
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(ks)
+        rerank_rows = [row for row in range(len(ks)) if survivors[row] is not None]
+        if rerank_rows:
+            self._rerank(syndrome, survivors, rerank_rows, ks, backend, results)
+        if fallback_rows:
+            self._fallback(syndrome, fallback_rows, ks, backend, exact_index, results)
+        return results, report  # type: ignore[return-value]

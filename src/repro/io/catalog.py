@@ -351,6 +351,10 @@ class ModelCatalog:
             "backend": pipeline.backend,
             "num_workers": pipeline.num_workers,
             "worker_addrs": pipeline.worker_addrs,
+            "retrieval": pipeline.retrieval,
+            "candidate_factor": pipeline.candidate_factor,
+            "num_lists": pipeline.num_lists,
+            "nprobe": pipeline.nprobe,
         }
 
     # -- reads ----------------------------------------------------------
@@ -462,6 +466,10 @@ class ModelCatalog:
             backend=options.get("backend"),
             num_workers=options.get("num_workers"),
             worker_addrs=options.get("worker_addrs"),
+            retrieval=options.get("retrieval", "exact"),
+            candidate_factor=options.get("candidate_factor", 4),
+            num_lists=options.get("num_lists", 0),
+            nprobe=options.get("nprobe", 1),
         )
         if isinstance(pipeline.model, GraphHerbRecommender):
             pipeline.engine  # noqa: B018 — warm propagation + shard index pre-swap

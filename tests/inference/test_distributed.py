@@ -463,3 +463,48 @@ class TestEngineParity:
                 np.testing.assert_array_equal(remoted.score_batch(sets), baseline_scores)
             finally:
                 remote.close()
+
+    def test_approx_rerank_bit_identical_across_backends(
+        self, wide_split, process_backend, worker_servers
+    ):
+        """The approx tier's re-rank/fallback tasks place anywhere safely.
+
+        Candidate selection runs in the engine process, but re-rank and
+        fallback ShardTasks execute on the configured backend — answers must
+        be bit-identical whether those land in-process, on a process pool,
+        or on remote shard workers.
+        """
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, test = wide_split
+        sets = test.symptom_sets()[:10]
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        baseline = InferenceEngine(
+            model, retrieval="approx", candidate_factor=3, num_lists=2, nprobe=1
+        ).recommend_batch(sets, k=9)
+        pooled = InferenceEngine(
+            model,
+            retrieval="approx",
+            candidate_factor=3,
+            num_lists=2,
+            nprobe=1,
+            backend=process_backend,
+        )
+        assert pooled.recommend_batch(sets, k=9) == baseline, "approx diverged (processes)"
+        addrs = [f"{host}:{port}" for host, port in (s.address for s in worker_servers)]
+        remote = RemoteBackend(worker_addrs=addrs, timeout_s=10.0)
+        try:
+            remoted = InferenceEngine(
+                model,
+                retrieval="approx",
+                candidate_factor=3,
+                num_lists=2,
+                nprobe=1,
+                backend=remote,
+            )
+            assert remoted.recommend_batch(sets, k=9) == baseline, "approx diverged (remote)"
+        finally:
+            remote.close()

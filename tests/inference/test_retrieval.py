@@ -1,0 +1,528 @@
+"""Recall/parity harness for the two-stage approximate retrieval tier.
+
+The contract under test (see :mod:`repro.inference.retrieval`):
+
+* **Recall** — the int8 first pass keeps ``candidate_factor * k`` survivors;
+  over synthetic vocabularies (full-scan and IVF-partitioned, matrix-level
+  and through every registered neural model) recall@k against the exact
+  oracle must be >= 0.99.
+* **Bit-exactness of what is returned** — every survivor's score comes out
+  of the identical fixed-tile arithmetic as the exact path, so returned
+  scores must equal the exact ``score_sets`` / ``ShardedHerbIndex.score``
+  values bit for bit, in the canonical (score desc, id asc) order.
+* **Determinism** — a request's answer is independent of its batchmates,
+  the shard layout, and the compute backend.
+* **Fallback** — any request whose candidate pool cannot certify ``k``
+  results is answered by the exact index, full stop.
+* **Lifecycle** — the quantized index is parameter-version-stamped and dies
+  with its slot in the engine's ``MAX_CACHED_INDEX_VERSIONS`` LRU; a weight
+  update can never be served from a stale quantization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runners import NEURAL_MODEL_NAMES, build_neural_model
+from repro.inference import (
+    MAX_CACHED_INDEX_VERSIONS,
+    ApproxHerbIndex,
+    InferenceEngine,
+    ShardedHerbIndex,
+    kmeans_partition,
+)
+from repro.models.base import (
+    HERB_BLOCK,
+    SCORING_BLOCK,
+    WeightSnapshot,
+    quantize_embeddings,
+)
+
+SETS = [(0, 3), (1, 2, 4), (2,), (0, 1, 2, 3), (4, 5), (3, 5), (1,), (2, 3, 5)]
+
+
+def pad_rows(matrix, block=SCORING_BLOCK):
+    remainder = (-matrix.shape[0]) % block
+    if remainder == 0:
+        return matrix
+    return np.vstack([matrix, np.zeros((remainder, matrix.shape[1]))])
+
+
+def clustered_vocab(num_herbs, dim, num_clusters, seed):
+    """A mixture-of-Gaussians herb matrix — the shape IVF k-means can exploit."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(num_clusters, dim))
+    assignment = rng.integers(num_clusters, size=num_herbs)
+    return centers[assignment] + rng.normal(scale=0.4, size=(num_herbs, dim))
+
+
+def cluster_queries(matrix, num_rows, seed):
+    """Queries drawn near vocabulary rows (realistic retrieval geometry)."""
+    rng = np.random.default_rng(seed + 1)
+    anchors = matrix[rng.integers(matrix.shape[0], size=num_rows)]
+    return anchors + rng.normal(scale=0.2, size=anchors.shape)
+
+
+def assert_canonical(ids, scores):
+    for j in range(len(ids) - 1):
+        assert scores[j] > scores[j + 1] or (
+            scores[j] == scores[j + 1] and ids[j] < ids[j + 1]
+        ), "ranking violates the canonical (score desc, id asc) order"
+
+
+class TestQuantization:
+    def test_error_bound_and_code_range(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(300, 24)) * rng.gamma(2.0, size=(300, 1))
+        quantized = quantize_embeddings(matrix)
+        assert quantized.codes.dtype == np.int8
+        assert quantized.codes.min() >= -127 and quantized.codes.max() <= 127
+        assert (quantized.scales >= 0).all()
+        errors = np.abs(matrix - quantized.dequantized())
+        assert (errors <= quantized.scales[:, None] / 2 + 1e-12).all()
+
+    def test_all_zero_row_has_zero_scale_and_codes(self):
+        matrix = np.zeros((3, 8))
+        matrix[1] = np.random.default_rng(1).normal(size=8)
+        quantized = quantize_embeddings(matrix)
+        assert quantized.scales[0] == 0.0 and quantized.scales[2] == 0.0
+        assert not quantized.codes[0].any() and not quantized.codes[2].any()
+        np.testing.assert_array_equal(quantized.dequantized()[0], 0.0)
+
+    def test_constant_row_saturates_and_round_trips_exactly(self):
+        matrix = np.full((2, 16), -0.75)
+        quantized = quantize_embeddings(matrix)
+        assert (np.abs(quantized.codes) == 127).all()
+        np.testing.assert_array_equal(quantized.dequantized(), matrix)
+
+    def test_deterministic(self):
+        matrix = np.random.default_rng(2).normal(size=(64, 12))
+        first, second = quantize_embeddings(matrix), quantize_embeddings(matrix)
+        np.testing.assert_array_equal(first.codes, second.codes)
+        np.testing.assert_array_equal(first.scales, second.scales)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            quantize_embeddings(np.array([[1.0, np.nan]]))
+
+    def test_snapshot_quantize_matches_free_function(self):
+        matrix = np.random.default_rng(3).normal(size=(40, 6))
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        np.testing.assert_array_equal(
+            snapshot.quantize().codes, quantize_embeddings(matrix).codes
+        )
+
+
+class TestKMeansPartition:
+    def test_deterministic_and_covering(self):
+        matrix = clustered_vocab(500, 8, 6, seed=0)
+        first = kmeans_partition(matrix, 6, seed=0)
+        second = kmeans_partition(matrix, 6, seed=0)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+        assert first[0].shape == (500,)
+        assert first[0].min() >= 0 and first[0].max() < 6
+
+    def test_num_lists_clamped_to_rows(self):
+        matrix = np.random.default_rng(1).normal(size=(5, 4))
+        assignments, centroids = kmeans_partition(matrix, 64, seed=0)
+        assert centroids.shape[0] <= 5
+
+
+# One wide multi-tile vocabulary (>= 1 wide corpus fixture) and a smaller one.
+MATRIX_CASES = [
+    # (num_herbs, dim, num_lists, nprobe)
+    (2 * HERB_BLOCK + 19, 12, 0, 1),  # full int8 scan
+    (6 * HERB_BLOCK + 13, 16, 0, 1),  # wide vocabulary, full scan
+    (6 * HERB_BLOCK + 13, 16, 16, 6),  # wide vocabulary, IVF partition
+]
+
+
+class TestMatrixRecallHarness:
+    """Property-style recall + bit-identity over synthetic vocabularies."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_herbs,dim,num_lists,nprobe", MATRIX_CASES)
+    def test_recall_and_bit_identity(self, num_herbs, dim, num_lists, nprobe, seed):
+        matrix = clustered_vocab(num_herbs, dim, num_clusters=12, seed=seed)
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        exact = ShardedHerbIndex(snapshot, num_shards=3)
+        approx = ApproxHerbIndex(
+            snapshot, candidate_factor=4, num_lists=num_lists, nprobe=nprobe, seed=seed
+        )
+        k, rows = 10, 24
+        syndrome = pad_rows(cluster_queries(matrix, rows, seed))
+        results, report = approx.topk(syndrome, [k] * rows, exact_index=exact)
+        exact_ids, exact_scores = exact.topk(syndrome, rows, k)
+        full_scores = exact.score(syndrome)
+
+        hits = 0
+        for row, (ids, scores) in enumerate(results):
+            assert len(ids) == k
+            assert_canonical(ids, scores)
+            hits += len(set(ids) & set(exact_ids[row]))
+            # bit-identity: every returned score is the exact tile-grid score
+            np.testing.assert_array_equal(scores, full_scores[row, ids])
+        assert hits / (rows * k) >= 0.99, f"recall {hits / (rows * k):.3f} below the gate"
+        assert report.rows == rows
+        assert report.fallback_rows == 0
+        if num_lists == 0:
+            assert report.candidates == rows * 4 * k  # full scan: pool exactly cf*k
+        else:
+            assert rows * k <= report.candidates <= rows * 4 * k
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    @pytest.mark.parametrize("backend", ["numpy", "threads"])
+    def test_answers_independent_of_shards_and_backend(self, num_shards, backend):
+        from repro.inference import get_backend
+
+        matrix = clustered_vocab(3 * HERB_BLOCK + 5, 12, num_clusters=8, seed=3)
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        syndrome = pad_rows(cluster_queries(matrix, 9, seed=3))
+        baseline, _ = ApproxHerbIndex(snapshot, num_lists=8, nprobe=3).topk(
+            syndrome, [7] * 9, exact_index=ShardedHerbIndex(snapshot, num_shards=1)
+        )
+        chosen = get_backend(backend, num_workers=2)
+        try:
+            results, _ = ApproxHerbIndex(snapshot, num_lists=8, nprobe=3).topk(
+                syndrome,
+                [7] * 9,
+                backend=chosen,
+                exact_index=ShardedHerbIndex(snapshot, num_shards=num_shards),
+            )
+        finally:
+            chosen.close()
+        for (base_ids, base_scores), (ids, scores) in zip(baseline, results):
+            np.testing.assert_array_equal(base_ids, ids)
+            np.testing.assert_array_equal(base_scores, scores)
+
+    def test_requests_independent_of_batchmates(self):
+        matrix = clustered_vocab(3 * HERB_BLOCK + 5, 12, num_clusters=8, seed=4)
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        exact = ShardedHerbIndex(snapshot)
+        queries = cluster_queries(matrix, 6, seed=4)
+        approx = ApproxHerbIndex(snapshot, num_lists=6, nprobe=2)
+        batched, _ = approx.topk(pad_rows(queries), [5] * 6, exact_index=exact)
+        for row in range(6):
+            solo, _ = approx.topk(pad_rows(queries[row : row + 1]), [5], exact_index=exact)
+            np.testing.assert_array_equal(solo[0][0], batched[row][0])
+            np.testing.assert_array_equal(solo[0][1], batched[row][1])
+
+    def test_mixed_per_request_k(self):
+        matrix = clustered_vocab(2 * HERB_BLOCK, 8, num_clusters=6, seed=5)
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        exact = ShardedHerbIndex(snapshot)
+        syndrome = pad_rows(cluster_queries(matrix, 3, seed=5))
+        results, _ = ApproxHerbIndex(snapshot).topk(syndrome, [3, 11, 7], exact_index=exact)
+        assert [len(ids) for ids, _ in results] == [3, 11, 7]
+
+
+class TestEveryNeuralModel:
+    """Recall gate + survivor bit-identity through every registered model."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("name", NEURAL_MODEL_NAMES)
+    def test_recall_and_exact_survivor_scores(self, name, seed):
+        model = build_neural_model(name, scale="smoke", seed=seed)
+        k = 10
+        exact = InferenceEngine(model)
+        approx = InferenceEngine(model, retrieval="approx", candidate_factor=3)
+        assert approx.retrieval_active
+        exact_recs = exact.recommend_batch(SETS, k=k)
+        approx_recs = approx.recommend_batch(SETS, k=k)
+        full_scores = model.score_sets(SETS)
+        hits = 0
+        for row, rec in enumerate(approx_recs):
+            assert len(rec) == k
+            assert_canonical(rec.herb_ids, rec.scores)
+            hits += len(set(rec.herb_ids) & set(exact_recs[row].herb_ids))
+            for herb_id, score in zip(rec.herb_ids, rec.scores):
+                assert score == full_scores[row, herb_id], (
+                    f"{name}: approx score for herb {herb_id} is not the exact "
+                    "score_sets value bit for bit"
+                )
+        recall = hits / (len(SETS) * k)
+        assert recall >= 0.99, f"{name} seed {seed}: recall {recall:.3f} below the gate"
+
+
+@pytest.fixture(scope="module")
+def wide_split():
+    """A corpus whose herb vocabulary spans several HERB_BLOCK tiles."""
+    from repro.data import SyntheticTCMConfig, generate_corpus
+
+    corpus = generate_corpus(
+        SyntheticTCMConfig(
+            num_symptoms=40,
+            num_herbs=700,
+            num_syndromes=8,
+            num_prescriptions=250,
+            seed=5,
+        )
+    )
+    return corpus.dataset.train_test_split(test_fraction=0.2, rng=np.random.default_rng(5))
+
+
+@pytest.fixture(scope="module")
+def wide_model(wide_split):
+    from repro.models import SMGCN, SMGCNConfig
+
+    train, _ = wide_split
+    config = SMGCNConfig(
+        embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+    )
+    return SMGCN.from_dataset(train, config)
+
+
+class TestWideCorpusEngine:
+    """Engine-level recall/parity on a multi-tile vocabulary."""
+
+    @pytest.mark.parametrize("num_lists,nprobe", [(0, 1), (2, 2)])
+    def test_wide_corpus_recall(self, wide_split, wide_model, num_lists, nprobe):
+        _, test = wide_split
+        sets = test.symptom_sets()[:24]
+        k = 10
+        exact_recs = InferenceEngine(wide_model).recommend_batch(sets, k=k)
+        approx = InferenceEngine(
+            wide_model,
+            retrieval="approx",
+            candidate_factor=4,
+            num_lists=num_lists,
+            nprobe=nprobe,
+        )
+        approx_recs = approx.recommend_batch(sets, k=k)
+        full_scores = wide_model.score_sets(sets)
+        hits = 0
+        for row, rec in enumerate(approx_recs):
+            hits += len(set(rec.herb_ids) & set(exact_recs[row].herb_ids))
+            for herb_id, score in zip(rec.herb_ids, rec.scores):
+                assert score == full_scores[row, herb_id]
+        assert hits / (len(sets) * k) >= 0.99
+
+    def test_batched_equals_single_request(self, wide_split, wide_model):
+        _, test = wide_split
+        sets = test.symptom_sets()[:12]
+        approx = InferenceEngine(
+            wide_model, retrieval="approx", candidate_factor=4, batch_size=5
+        )
+        batched = approx.recommend_batch(sets, k=8)
+        assert batched == [approx.recommend_batch([s], k=8)[0] for s in sets]
+
+
+class TestEdgeCases:
+    def _snapshot(self, seed=7, num_herbs=3 * HERB_BLOCK + 9, dim=10):
+        return WeightSnapshot.from_matrix(
+            clustered_vocab(num_herbs, dim, num_clusters=6, seed=seed)
+        )
+
+    def test_k_larger_than_candidate_pool_falls_back_to_exact(self):
+        snapshot = self._snapshot()
+        exact = ShardedHerbIndex(snapshot)
+        approx = ApproxHerbIndex(snapshot, candidate_factor=1, num_lists=8, nprobe=1)
+        largest_list = max(inverted.ids.size for inverted in approx.lists)
+        k = largest_list + 1  # beyond every probed list: no pool can certify k
+        syndrome = pad_rows(np.random.default_rng(7).normal(size=(16, snapshot.dim)))
+        results, report = approx.topk(syndrome, [k] * 16, exact_index=exact)
+        assert report.fallback_rows == 16
+        exact_ids, exact_scores = exact.topk(syndrome, 16, k)
+        for row, (ids, scores) in enumerate(results):
+            np.testing.assert_array_equal(ids, exact_ids[row])
+            np.testing.assert_array_equal(scores, exact_scores[row])
+
+    def test_k_at_vocabulary_size_matches_exact(self):
+        snapshot = self._snapshot(num_herbs=HERB_BLOCK + 40)
+        exact = ShardedHerbIndex(snapshot)
+        approx = ApproxHerbIndex(snapshot)
+        syndrome = pad_rows(np.random.default_rng(8).normal(size=(3, snapshot.dim)))
+        k = snapshot.num_herbs + 25  # clamps to the vocabulary
+        results, report = approx.topk(syndrome, [k] * 3, exact_index=exact)
+        assert report.fallback_rows == 3  # pruning is pointless -> exact
+        exact_ids, _ = exact.topk(syndrome, 3, k)
+        for row, (ids, _) in enumerate(results):
+            assert len(ids) == snapshot.num_herbs
+            np.testing.assert_array_equal(ids, exact_ids[row])
+
+    def test_empty_symptom_set_fails_identically_to_exact(self, wide_model):
+        exact = InferenceEngine(wide_model)
+        approx = InferenceEngine(wide_model, retrieval="approx")
+        with pytest.raises(ValueError, match="empty"):
+            exact.recommend_batch([()], k=5)
+        with pytest.raises(ValueError, match="empty"):
+            approx.recommend_batch([()], k=5)
+
+    def test_empty_batch(self, wide_model):
+        assert InferenceEngine(wide_model, retrieval="approx").recommend_batch([], k=5) == []
+
+    def test_exact_duplicate_rows_tie_break_preserved(self):
+        """Bitwise-tied scores across the int8 pool boundary resolve like exact."""
+        rng = np.random.default_rng(9)
+        dim = 8
+        matrix = rng.normal(size=(2 * HERB_BLOCK + 30, dim))
+        anchor = rng.normal(size=dim)
+        anchor /= np.linalg.norm(anchor)
+        # scatter 60 bitwise-identical top-scoring rows across tiles: the
+        # candidate pool boundary (cf*k = 20) lands inside the tied run
+        tied_ids = rng.choice(matrix.shape[0], size=60, replace=False)
+        matrix[tied_ids] = anchor * 5.0
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        exact = ShardedHerbIndex(snapshot, num_shards=2)
+        approx = ApproxHerbIndex(snapshot, candidate_factor=2)
+        syndrome = pad_rows(np.tile(anchor, (4, 1)) + rng.normal(scale=0.01, size=(4, dim)))
+        results, report = approx.topk(syndrome, [10] * 4, exact_index=exact)
+        assert report.fallback_rows == 0
+        exact_ids, exact_scores = exact.topk(syndrome, 4, 10)
+        for row, (ids, scores) in enumerate(results):
+            np.testing.assert_array_equal(ids, exact_ids[row])
+            np.testing.assert_array_equal(scores, exact_scores[row])
+            # the tie-break genuinely engaged: tied ids appear in ascending order
+            listed_tied = [i for i in ids if i in set(tied_ids.tolist())]
+            assert listed_tied == sorted(listed_tied)
+
+    def test_nprobe_clamped_to_num_lists_and_equals_full_scan(self):
+        snapshot = self._snapshot(seed=11)
+        exact = ShardedHerbIndex(snapshot)
+        syndrome = pad_rows(np.random.default_rng(11).normal(size=(6, snapshot.dim)))
+        everywhere = ApproxHerbIndex(snapshot, num_lists=5, nprobe=99)
+        assert everywhere.nprobe == everywhere.num_lists
+        full_scan = ApproxHerbIndex(snapshot, num_lists=0)
+        probed, _ = everywhere.topk(syndrome, [9] * 6, exact_index=exact)
+        scanned, _ = full_scan.topk(syndrome, [9] * 6, exact_index=exact)
+        for (probe_ids, probe_scores), (scan_ids, scan_scores) in zip(probed, scanned):
+            np.testing.assert_array_equal(probe_ids, scan_ids)
+            np.testing.assert_array_equal(probe_scores, scan_scores)
+
+    def test_zero_and_constant_rows_survive_quantization(self):
+        rng = np.random.default_rng(12)
+        matrix = rng.normal(size=(HERB_BLOCK + 50, 6))
+        matrix[::7] = 0.0  # all-zero rows sprinkled through every tile
+        matrix[3] = 2.5  # constant row
+        snapshot = WeightSnapshot.from_matrix(matrix)
+        exact = ShardedHerbIndex(snapshot)
+        syndrome = pad_rows(rng.normal(size=(5, 6)))
+        results, _ = ApproxHerbIndex(snapshot, candidate_factor=4).topk(
+            syndrome, [12] * 5, exact_index=exact
+        )
+        full_scores = exact.score(syndrome)
+        for row, (ids, scores) in enumerate(results):
+            assert np.isfinite(scores).all()
+            np.testing.assert_array_equal(scores, full_scores[row, ids])
+
+    def test_stale_exact_index_refused(self):
+        snapshot = self._snapshot(seed=13)
+        other = self._snapshot(seed=14)
+        approx = ApproxHerbIndex(snapshot)
+        syndrome = pad_rows(np.random.default_rng(13).normal(size=(1, snapshot.dim)))
+        with pytest.raises(ValueError, match="stale"):
+            approx.topk(syndrome, [5], exact_index=ShardedHerbIndex(other))
+
+    def test_validation(self):
+        snapshot = self._snapshot(seed=15)
+        with pytest.raises(ValueError, match="candidate_factor"):
+            ApproxHerbIndex(snapshot, candidate_factor=0)
+        with pytest.raises(ValueError, match="nprobe"):
+            ApproxHerbIndex(snapshot, nprobe=0)
+        with pytest.raises(ValueError, match="num_lists"):
+            ApproxHerbIndex(snapshot, num_lists=-1)
+
+
+class TestEngineLifecycle:
+    def test_engine_validation(self, wide_model):
+        with pytest.raises(ValueError, match="retrieval"):
+            InferenceEngine(wide_model, retrieval="fuzzy")
+        with pytest.raises(ValueError, match="candidate_factor"):
+            InferenceEngine(wide_model, retrieval="approx", candidate_factor=0)
+        with pytest.raises(ValueError, match="nprobe"):
+            InferenceEngine(wide_model, retrieval="approx", nprobe=0)
+        with pytest.raises(ValueError, match="num_lists"):
+            InferenceEngine(wide_model, retrieval="approx", num_lists=-1)
+
+    def test_subclass_score_sets_override_disables_approx(self, wide_split):
+        """A custom score definition must not be pruned by the base first pass."""
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+
+        class Boosted(SMGCN):
+            def score_sets(self, symptom_sets, herb_range=None):
+                return super().score_sets(symptom_sets, herb_range=herb_range) + 100.0
+
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = Boosted.from_dataset(train, config)
+        engine = InferenceEngine(model, retrieval="approx")
+        assert not engine.retrieval_active
+        assert engine.backend_status()["retrieval"] == "exact"
+        rec = engine.recommend_batch([(0, 1)], k=3)[0]
+        assert min(rec.scores) > 50.0, "override bypassed by the approx fast path"
+
+    def test_approx_cache_keyed_by_version_and_lru_bounded(self, wide_model):
+        engine = InferenceEngine(wide_model, retrieval="approx")
+        engine.recommend_batch(SETS[:2], k=5)
+        assert len(engine._approx_cache) == 1
+        first_key = next(iter(engine._approx_cache))
+        engine.recommend_batch(SETS[:2], k=5)
+        assert list(engine._approx_cache) == [first_key], "same version must reuse the cache"
+        for _ in range(MAX_CACHED_INDEX_VERSIONS + 2):
+            wide_model.load_state_dict(wide_model.state_dict())  # bumps the version
+            engine.recommend_batch(SETS[:2], k=5)
+        assert len(engine._approx_cache) <= MAX_CACHED_INDEX_VERSIONS
+        assert first_key not in engine._approx_cache, "stale quantization still cached"
+
+    def test_weight_update_never_served_from_stale_quantization(self, wide_split):
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = wide_split
+        config = SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0
+        )
+        model = SMGCN.from_dataset(train, config)
+        donor = SMGCN.from_dataset(train, SMGCNConfig(
+            embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=9
+        ))
+        engine = InferenceEngine(model, retrieval="approx")
+        before = engine.recommend_batch(SETS[:4], k=6)
+        model.load_state_dict(donor.state_dict())
+        after = engine.recommend_batch(SETS[:4], k=6)
+        assert before != after
+        fresh = InferenceEngine(donor, retrieval="approx").recommend_batch(SETS[:4], k=6)
+        assert after == fresh, "post-update answers must come from the new quantization"
+
+    def test_close_clears_approx_cache(self, wide_model):
+        engine = InferenceEngine(wide_model, retrieval="approx")
+        engine.recommend_batch(SETS[:2], k=5)
+        engine.close()
+        assert engine._approx_cache == {}
+        # engine stays usable after close
+        assert len(engine.recommend_batch(SETS[:1], k=5)[0]) == 5
+
+    def test_counters_flow_to_backend_status(self, wide_model):
+        engine = InferenceEngine(wide_model, retrieval="approx", candidate_factor=2)
+        engine.recommend_batch(SETS[:5], k=4)
+        status = engine.backend_status()
+        assert status["retrieval"] == "approx"
+        assert status["approx_requests"] == 5
+        assert status["approx_fallbacks"] == 0
+        assert status["approx_pool_mean"] == pytest.approx(8.0)
+        # exact engines advertise exact and no approx counters
+        exact_status = InferenceEngine(wide_model).backend_status()
+        assert exact_status["retrieval"] == "exact"
+        assert "approx_requests" not in exact_status
+
+    def test_fallback_counter_increments(self, wide_model):
+        engine = InferenceEngine(wide_model, retrieval="approx", candidate_factor=1)
+        engine.recommend_batch(SETS[:3], k=wide_model.num_herbs)  # pool >= vocabulary
+        assert engine.backend_status()["approx_fallbacks"] == 3
+
+    def test_warm_up_builds_the_approx_index(self, wide_model):
+        engine = InferenceEngine(wide_model, retrieval="approx").warm_up()
+        assert len(engine._approx_cache) == 1
+
+    def test_exact_engine_ignores_retrieval_knobs(self, wide_split, wide_model):
+        """retrieval='exact' stays the oracle no matter the approx knobs."""
+        _, test = wide_split
+        sets = test.symptom_sets()[:6]
+        baseline = InferenceEngine(wide_model).recommend_batch(sets, k=7)
+        configured = InferenceEngine(
+            wide_model, retrieval="exact", candidate_factor=9, num_lists=4, nprobe=2
+        )
+        assert not configured.retrieval_active
+        assert configured.recommend_batch(sets, k=7) == baseline

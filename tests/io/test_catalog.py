@@ -302,6 +302,45 @@ class TestCanary:
         assert catalog.clear_canary("a") is None
 
 
+class TestApproxRetrievalRollout:
+    """The approx tier composes with zero-downtime rollout.
+
+    The quantized index is parameter-version-stamped inside the engine, so a
+    publish must (1) keep serving the entry's retrieval knobs and (2) answer
+    from the *new* weights' quantization — never a stale one — while the old
+    generation's approx cache dies with its drained engine.
+    """
+
+    def test_publish_preserves_knobs_and_quantization_follows_weights(self, checkpoints):
+        catalog = ModelCatalog()
+        try:
+            catalog.add(
+                "approx",
+                Pipeline.load(checkpoints["a"], retrieval="approx", candidate_factor=2),
+                checkpoint_path=checkpoints["a"],
+            )
+            fresh_a = Pipeline.load(checkpoints["a"], retrieval="approx", candidate_factor=2)
+            fresh_b = Pipeline.load(checkpoints["b"], retrieval="approx", candidate_factor=2)
+            assert catalog.entry("approx").pipeline.engine.retrieval_active
+            assert catalog_answer(catalog, "approx") == answer(fresh_a)
+            with catalog.entry("approx").lease() as old_pipeline:
+                old_engine = old_pipeline.engine
+                assert len(old_engine._approx_cache) == 1
+                catalog.publish("approx", checkpoints["b"])
+                # the drained generation still answers from its own quantization
+                assert answer(old_pipeline) == answer(fresh_a)
+            assert old_engine._approx_cache == {}, "drained engine kept a quantized index"
+            rolled = catalog.entry("approx").pipeline
+            assert rolled.retrieval == "approx"
+            assert rolled.candidate_factor == 2
+            assert catalog_answer(catalog, "approx") == answer(fresh_b)
+            status = rolled.engine.backend_status()
+            assert status["retrieval"] == "approx"
+            assert status["approx_requests"] >= 1
+        finally:
+            catalog.close()
+
+
 class TestVersionHistory:
     def test_history_is_bounded(self, checkpoints):
         from repro.io import MAX_VERSION_HISTORY

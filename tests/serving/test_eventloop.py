@@ -169,16 +169,24 @@ class TestWireParity:
 # ----------------------------------------------------------------------
 
 
+#: Parametrizes a test over the exact oracle and the approx retrieval tier.
+BOTH_RETRIEVALS = pytest.mark.parametrize(
+    "serving_pipeline", ["exact", "approx"], indirect=True, ids=["exact", "approx"]
+)
+
+
 class TestAsyncScoringParity:
     QUERIES = ["0 3", "1 2 4", "k=2 0 3", "2", "0 1 2 3", "no_such_symptom"]
 
     @pytest.fixture()
-    def async_stack(self, pipeline):
+    def async_stack(self, serving_pipeline):
         stats = ServerStats()
-        handler = RecommendationHandler(pipeline, k=5, stats=stats)
+        handler = RecommendationHandler(serving_pipeline, k=5, stats=stats)
         batcher = MicroBatcher(handler, max_batch_size=64, max_wait_ms=10.0, stats=stats)
         server = AsyncSocketServer(batcher, stats=stats).start()
+        stats.set_backend_info(serving_pipeline.engine.backend_status)
         yield server, stats
+        stats.set_backend_info(None)
         server.stop()
         batcher.close()
 
@@ -209,7 +217,11 @@ class TestAsyncScoringParity:
         assert async_answers[2] == sequential_answer(pipeline, "0 3", k=2)
         assert async_answers[5].startswith("error: unknown symptom token")
 
-    def test_concurrent_clients_bit_identical_to_sequential(self, pipeline, async_stack):
+    @BOTH_RETRIEVALS
+    def test_concurrent_clients_bit_identical_to_sequential(
+        self, serving_pipeline, async_stack
+    ):
+        pipeline = serving_pipeline  # baseline through the same retrieval mode
         server, stats = async_stack
         queries = ["0 3", "1 2", "2 4 5", "0 1 2", "3", "1 4", "0 2 5", "2 3 4"]
         num_clients, rounds = 8, 3

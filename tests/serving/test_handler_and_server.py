@@ -98,17 +98,25 @@ class TestRecommendationHandler:
             RecommendationHandler(pipeline, k=0)
 
 
+#: Parametrizes a test over the exact oracle and the approx retrieval tier.
+BOTH_RETRIEVALS = pytest.mark.parametrize(
+    "serving_pipeline", ["exact", "approx"], indirect=True, ids=["exact", "approx"]
+)
+
+
 class TestSocketServer:
     NUM_CLIENTS = 8
     ROUNDS = 3
 
     @pytest.fixture()
-    def serving_stack(self, pipeline):
+    def serving_stack(self, serving_pipeline):
         stats = ServerStats()
-        handler = RecommendationHandler(pipeline, k=5, stats=stats)
+        handler = RecommendationHandler(serving_pipeline, k=5, stats=stats)
         batcher = MicroBatcher(handler, max_batch_size=64, max_wait_ms=25.0, stats=stats)
         server = SocketServer(batcher, stats=stats).start()
+        stats.set_backend_info(serving_pipeline.engine.backend_status)
         yield server, stats
+        stats.set_backend_info(None)
         server.stop()
         batcher.close()
 
@@ -122,7 +130,11 @@ class TestSocketServer:
                 answers.append(reader.readline().strip())
             out[index] = answers
 
-    def test_concurrent_clients_bit_identical_to_sequential(self, pipeline, serving_stack):
+    @BOTH_RETRIEVALS
+    def test_concurrent_clients_bit_identical_to_sequential(
+        self, serving_pipeline, serving_stack
+    ):
+        pipeline = serving_pipeline  # baseline through the same retrieval mode
         server, stats = serving_stack
         queries = ["0 3", "1 2", "2 4 5", "0 1 2", "3", "1 4", "0 2 5", "2 3 4"]
         plans = [
@@ -175,6 +187,31 @@ class TestSocketServer:
         assert "backend=threads" in stats_line
         assert "shards=4" in stats_line
         assert "workers_alive=2/2" in stats_line
+
+    @pytest.mark.parametrize("serving_pipeline", ["approx"], indirect=True)
+    def test_stats_control_line_reports_retrieval_counters(self, serving_stack):
+        """The approx tier's counters reach operators through ``stats``."""
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"0 3\n1 2\nstats\n")
+            assert reader.readline().strip().startswith("herb_")
+            assert reader.readline().strip().startswith("herb_")
+            stats_line = reader.readline().strip()
+        assert "retrieval=approx" in stats_line
+        assert "candidate_factor=2" in stats_line
+        assert "approx_requests=" in stats_line
+        assert "approx_fallbacks=" in stats_line
+        assert "approx_pool_mean=" in stats_line
+
+    def test_stats_control_line_reports_exact_retrieval_by_default(self, serving_stack):
+        server, _ = serving_stack
+        with socket.create_connection(server.address, timeout=10) as connection:
+            reader = connection.makefile("r", encoding="utf-8")
+            connection.sendall(b"stats\n")
+            stats_line = reader.readline().strip()
+        assert "retrieval=exact" in stats_line
+        assert "approx_requests=" not in stats_line
 
     def test_error_response_keeps_connection_alive(self, serving_stack):
         server, _ = serving_stack
