@@ -1,0 +1,220 @@
+"""Benchmark — bulk batch scoring vs a per-request serve loop.
+
+The serve path pays its fixed costs — request parse, catalog lease, pooling
+matrix build, MLP/herb matmul launch — once per request when driven one line
+at a time.  ``repro batch`` streams a whole window into one
+``recommend_many`` call, amortising those costs across the window, which is
+the entire reason the offline path exists.
+
+Hard gates:
+
+* **parity** — the batch path's herbs match the serve JSON protocol exactly,
+  and serve's 6-decimal scores equal the batch scores rounded to 6;
+* **throughput** — batch scores >= 2x the records/sec of the looped serve
+  path;
+* **bounded memory** — peak RSS of a 10x larger corpus (at the same
+  ``--window``) stays within ``RSS_RATIO_LIMIT`` of the small corpus's,
+  demonstrating the window bounds resident memory, not the corpus.
+
+Runs standalone too (CI smoke): ``python benchmarks/bench_batch_throughput.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.api import Pipeline
+from repro.batch.runner import stream_results
+from repro.experiments.datasets import get_profile
+from repro.io.catalog import ModelCatalog
+from repro.serving import RecommendationHandler
+
+NUM_RECORDS = {"smoke": 2048, "default": 8192}
+WINDOW = 128
+K = 10
+#: Best-of-N timing to keep the assertion stable on noisy CI machines.
+TIMING_REPEATS = 3
+#: RSS check: small corpus size; the large corpus is 10x this.
+RSS_BASE_RECORDS = 2000
+RSS_SCALE = 10
+RSS_RATIO_LIMIT = 1.5
+
+
+def _build(scale):
+    pipeline = Pipeline(
+        "SMGCN",
+        scale="default",
+        trainer_config=get_profile("default").trainer_config(epochs=0),
+    ).fit()
+    base_sets = pipeline._train_split().symptom_sets()
+    repeats = -(-NUM_RECORDS[scale] // len(base_sets))
+    symptom_sets = (list(base_sets) * repeats)[: NUM_RECORDS[scale]]
+    return pipeline, symptom_sets
+
+
+def _best_of(func, repeats=TIMING_REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _batch_lines(symptom_sets):
+    return [
+        json.dumps({"id": i, "symptoms": [int(s) for s in symptoms], "k": K})
+        for i, symptoms in enumerate(symptom_sets)
+    ]
+
+
+def _serve_lines(symptom_sets):
+    return [
+        json.dumps({"symptoms": [int(s) for s in symptoms], "k": K})
+        for symptoms in symptom_sets
+    ]
+
+
+def _check_parity(batch_responses, serve_responses):
+    for batch_line, serve_line in zip(batch_responses, serve_responses):
+        batch_row = json.loads(batch_line)
+        serve_row = json.loads(serve_line)
+        if "error" in batch_row or "error" in serve_row:
+            return False
+        if serve_row["herbs"] != batch_row["herbs"]:
+            return False
+        if serve_row["scores"] != [round(s, 6) for s in batch_row["scores"]]:
+            return False
+    return True
+
+
+def _peak_rss_kb(records):
+    """Peak RSS (KiB) of a fresh subprocess scoring ``records`` records."""
+    result = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--rss-child", str(records)],
+        env=dict(os.environ, PYTHONPATH="src"),
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return int(result.stdout.strip().splitlines()[-1])
+
+
+def _rss_child(records):
+    """Child mode: score ``records`` records at a fixed window, print peak RSS."""
+    import resource
+    import tempfile
+    from pathlib import Path
+
+    from repro.batch.runner import run_batch_file
+
+    pipeline = Pipeline(
+        "SMGCN", scale="smoke", trainer_config=get_profile("smoke").trainer_config(epochs=1)
+    ).fit()
+    catalog = ModelCatalog.for_pipeline(pipeline)
+    workdir = Path(tempfile.mkdtemp(prefix="batch-rss-"))
+    corpus = workdir / "corpus.jsonl"
+    with open(corpus, "w", encoding="utf-8") as stream:
+        for i in range(records):
+            stream.write(
+                json.dumps(
+                    {"id": i, "symptoms": [i % 30, (i * 7 + 3) % 30], "k": 5}
+                )
+                + "\n"
+            )
+    run_batch_file(catalog, corpus, workdir / "out.jsonl", window=64)
+    print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def measure(scale="smoke", check_rss=True):
+    pipeline, symptom_sets = _build(scale)
+    catalog = ModelCatalog.for_pipeline(pipeline)
+    handler = RecommendationHandler(catalog, k=K)
+    batch_lines = _batch_lines(symptom_sets)
+    serve_lines = _serve_lines(symptom_sets)
+    pipeline.engine  # warm the propagation outside the timed region
+
+    def run_batch():
+        return list(stream_results(catalog, batch_lines, window=WINDOW))
+
+    def run_serve_loop():
+        return [handler([line])[0] for line in serve_lines]
+
+    run_batch()  # warm BLAS/pooling buffers
+    batch_seconds, batch_responses = _best_of(run_batch)
+    serve_seconds, serve_responses = _best_of(run_serve_loop)
+
+    stats = {
+        "scale": scale,
+        "num_records": len(batch_lines),
+        "window": WINDOW,
+        "batch_seconds": batch_seconds,
+        "serve_seconds": serve_seconds,
+        "batch_rps": len(batch_lines) / batch_seconds,
+        "serve_rps": len(serve_lines) / serve_seconds,
+        "speedup": serve_seconds / batch_seconds,
+        "parity": _check_parity(batch_responses, serve_responses),
+    }
+    if check_rss:
+        small = _peak_rss_kb(RSS_BASE_RECORDS)
+        large = _peak_rss_kb(RSS_BASE_RECORDS * RSS_SCALE)
+        stats["rss_small_kb"] = small
+        stats["rss_large_kb"] = large
+        stats["rss_ratio"] = large / small
+    return stats
+
+
+def _report(stats):
+    lines = [
+        f"scale={stats['scale']} records={stats['num_records']} "
+        f"window={stats['window']} k={K}",
+        f"serve loop (1 req/call):  {stats['serve_seconds']:.3f}s "
+        f"({stats['serve_rps']:.0f} rec/s)",
+        f"batch streaming:          {stats['batch_seconds']:.3f}s "
+        f"({stats['batch_rps']:.0f} rec/s)",
+        f"speedup: {stats['speedup']:.1f}x   parity: {stats['parity']}",
+    ]
+    if "rss_ratio" in stats:
+        lines.append(
+            f"peak RSS: {stats['rss_small_kb']} KiB ({RSS_BASE_RECORDS} records) "
+            f"-> {stats['rss_large_kb']} KiB ({RSS_BASE_RECORDS * RSS_SCALE} "
+            f"records), ratio {stats['rss_ratio']:.2f} "
+            f"(limit {RSS_RATIO_LIMIT})"
+        )
+    return "\n".join(lines)
+
+
+def test_batch_throughput(benchmark, bench_scale):
+    from _bench_utils import record_report, run_once
+
+    stats = run_once(benchmark, lambda: measure(bench_scale))
+    record_report("Batch throughput — streaming vs per-request serve loop", _report(stats))
+    assert stats["parity"], "batch responses must match the serve JSON protocol"
+    assert stats["speedup"] >= 2.0, f"expected >= 2x speedup, got {stats['speedup']:.1f}x"
+    assert stats["rss_ratio"] <= RSS_RATIO_LIMIT, (
+        f"peak RSS grew {stats['rss_ratio']:.2f}x on a {RSS_SCALE}x corpus — "
+        "the window no longer bounds memory"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--rss-child":
+        _rss_child(int(sys.argv[2]))
+        sys.exit(0)
+    stats = measure("smoke")
+    print(_report(stats))
+    if not stats["parity"]:
+        raise SystemExit("batch responses diverged from the serve JSON protocol")
+    if stats["speedup"] < 2.0:
+        raise SystemExit(
+            f"batch speedup {stats['speedup']:.1f}x below the 2x floor"
+        )
+    if stats["rss_ratio"] > RSS_RATIO_LIMIT:
+        raise SystemExit(
+            f"peak RSS ratio {stats['rss_ratio']:.2f} exceeds {RSS_RATIO_LIMIT} — "
+            "memory is scaling with the corpus, not the window"
+        )

@@ -252,6 +252,35 @@ class Pipeline:
             )
         return results
 
+    def recommend_stream(self, records, k: int = 10, window: int = 1024):
+        """Stream JSONL prescription records through the pipeline, lazily.
+
+        ``records`` is any iterable mixing JSONL strings/bytes and dicts of
+        the batch record schema (``{"id": ..., "symptoms": [...], "k": N}``
+        — see ``docs/BATCH.md``); the generator yields one result dict per
+        record **in input order** while holding at most ``window`` records
+        in memory, so corpora of any size stream with bounded RSS.  A
+        malformed or unscorable record yields ``{"id": ..., "error": ...}``
+        instead of raising — record failures never abort the stream.  Blank
+        lines are skipped.  ``k`` is the default list length for records
+        without their own ``"k"``.
+
+        This is the in-process face of ``repro batch``: results are
+        bit-identical to per-record :meth:`recommend` calls (and to the
+        batch CLI's output lines), whatever the window or backend placement.
+        """
+        import json
+
+        from .batch.runner import stream_results
+        from .io.catalog import ModelCatalog
+
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._require_model()  # fail fast, not one error line per record
+        catalog = ModelCatalog.for_pipeline(self)
+        for line in stream_results(catalog, records, default_k=k, window=window):
+            yield json.loads(line)
+
     def decode_herbs(self, recommendation: Recommendation) -> List[str]:
         """Herb tokens for a :class:`Recommendation`'s ids."""
         return [self.herb_vocab.token_of(herb_id) for herb_id in recommendation.herb_ids]

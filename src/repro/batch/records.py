@@ -1,0 +1,151 @@
+"""JSONL record codec for bulk offline scoring.
+
+One input record is one JSON object per line::
+
+    {"id": "rx-00042", "symptoms": ["symptom_003", 17], "k": 5, "model": "smgcn"}
+
+``id`` is required (a string or an integer — it is echoed verbatim onto the
+matching output line so downstream stages can join results back to their
+inputs); ``symptoms`` is a list of tokens and/or integer ids, or one
+whitespace-separated string; ``k`` and ``model`` are optional and default to
+the run's ``--k`` and the catalog's default entry.
+
+One output record is one JSON object per line, in input order::
+
+    {"id": "rx-00042", "model": "smgcn", "herbs": [...], "herb_ids": [...], "scores": [...]}
+    {"id": "rx-00043", "error": "unknown symptom token 'xyz'"}
+
+The codec enforces the pipeline's two hard guarantees at the record level:
+
+* a malformed line **always** becomes an ``error`` output line carrying the
+  record's id when one could be recovered — never a traceback that aborts
+  the stream (:class:`RecordError` is the only exception decoding raises);
+* emitted scores are **NaN-free**: a non-finite score refuses to encode
+  (``RecordError`` again — the runner turns it into an error line), so every
+  result line is strict JSON that any downstream parser accepts.
+
+Output bytes are deterministic: fixed key order, compact separators, ASCII
+escapes — two runs over the same input are byte-identical, which is what the
+checkpointed-resume machinery in :mod:`repro.batch.runner` relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Union
+
+__all__ = ["BatchRecord", "RecordError", "decode_record", "encode_result", "encode_error"]
+
+#: The only keys an input record may carry.
+RECORD_FIELDS = frozenset({"id", "symptoms", "k", "model"})
+
+
+class RecordError(ValueError):
+    """A record that cannot be decoded, scored or encoded.
+
+    Carries the offending record's ``id`` when it could be recovered, so the
+    matching error line still joins back to the input.
+    """
+
+    def __init__(self, reason: str, record_id: Union[str, int, None] = None) -> None:
+        super().__init__(reason)
+        self.record_id = record_id
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One validated input record, ready to route and score."""
+
+    id: Union[str, int]
+    symptoms: Union[str, List[Union[str, int]]]
+    k: int
+    model: Optional[str]
+
+
+def _reject_constant(token: str) -> None:
+    # json.loads would happily parse NaN/Infinity literals; they are not JSON
+    # and would leak non-finite floats into ids/ks, so refuse them outright.
+    raise ValueError(f"non-finite JSON literal {token}")
+
+
+def decode_record(line: str, default_k: int = 10) -> BatchRecord:
+    """Parse and validate one input line; raises only :class:`RecordError`."""
+    try:
+        payload = json.loads(line, parse_constant=_reject_constant)
+    except ValueError as error:
+        raise RecordError(f"bad JSON record: {error}") from error
+    if not isinstance(payload, dict):
+        raise RecordError("record must be a JSON object")
+    record_id = payload.get("id")
+    if isinstance(record_id, bool) or not isinstance(record_id, (str, int)):
+        # id unusable -> the error line carries id null
+        raise RecordError('record needs "id": a string or an integer')
+    unknown = set(payload) - RECORD_FIELDS
+    if unknown:
+        raise RecordError(
+            f"unknown record fields: {', '.join(sorted(unknown))}", record_id
+        )
+    symptoms = payload.get("symptoms")
+    if isinstance(symptoms, str):
+        if not symptoms.strip():
+            raise RecordError('"symptoms" must not be empty', record_id)
+    elif isinstance(symptoms, list):
+        if not symptoms:
+            raise RecordError('"symptoms" must not be empty', record_id)
+        for item in symptoms:
+            if isinstance(item, bool) or not isinstance(item, (str, int)):
+                raise RecordError(
+                    f'"symptoms" entries must be tokens or integer ids, got {item!r}',
+                    record_id,
+                )
+    else:
+        raise RecordError(
+            'record needs "symptoms": a list of tokens/ids or one string', record_id
+        )
+    k = payload.get("k", default_k)
+    if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+        raise RecordError(f"k must be a positive integer, got {k!r}", record_id)
+    model = payload.get("model")
+    if model is not None and (not isinstance(model, str) or not model):
+        raise RecordError(f"model must be a non-empty string, got {model!r}", record_id)
+    return BatchRecord(id=record_id, symptoms=symptoms, k=k, model=model)
+
+
+def _dumps(payload: Any) -> str:
+    # fixed key order (insertion), compact separators, ASCII escapes,
+    # allow_nan=False: the emitted bytes are a pure function of the values
+    return json.dumps(payload, separators=(",", ":"), allow_nan=False)
+
+
+def encode_result(
+    record_id: Union[str, int],
+    model: str,
+    herbs: Sequence[str],
+    herb_ids: Sequence[int],
+    scores: Sequence[float],
+) -> str:
+    """The result line for one scored record; refuses non-finite scores."""
+    clean_scores: List[float] = []
+    for score in scores:
+        value = float(score)
+        if not math.isfinite(value):
+            raise RecordError(f"non-finite score {value!r} for herb list", record_id)
+        clean_scores.append(value)
+    return _dumps(
+        {
+            "id": record_id,
+            "model": model,
+            "herbs": list(herbs),
+            "herb_ids": [int(h) for h in herb_ids],
+            "scores": clean_scores,
+        }
+    )
+
+
+def encode_error(record_id: Union[str, int, None], reason: str) -> str:
+    """The error line for one failed record (``id`` may be null)."""
+    if isinstance(record_id, bool) or not isinstance(record_id, (str, int)):
+        record_id = None
+    return _dumps({"id": record_id, "error": str(reason)})

@@ -48,6 +48,16 @@ candidate pool cannot certify ``k`` results.
 
 ``shard-worker`` runs one such worker: a model-free scoring server that
 receives weight snapshots and shard tasks over TCP.
+
+``batch`` is the offline counterpart of ``serve``: it streams JSON-lines
+prescription records (``{"id": ..., "symptoms": [...], "k": N, "model":
+NAME}``) from files or stdin through the same catalog/engine stack, emitting
+one JSON result line per record in input order — bounded memory
+(``--window``), per-record error isolation (``{"id": ..., "error": ...}``
+lines, never an aborted run), a durable checkpoint sidecar per output file
+so ``--resume`` after a crash re-scores nothing already fsynced and emits
+byte-identical output, and a per-file work queue (``--jobs``) fanning
+multi-file corpora across the shared backend fleet.  See docs/BATCH.md.
 """
 
 from __future__ import annotations
@@ -86,6 +96,11 @@ examples:
       --worker-addr 127.0.0.1:7801 --worker-addr 127.0.0.1:7802
   repro serve --model smgcn=a.npz --model hlegcn=b.npz --port 7654 --watch
   repro models --json                      # machine-readable registry
+  repro batch corpus.jsonl --checkpoint smgcn.npz --output scored.jsonl
+  repro batch corpus.jsonl --output scored.jsonl --resume   # after a crash
+  cat corpus.jsonl | repro batch --checkpoint smgcn.npz > scored.jsonl
+  repro batch a.jsonl b.jsonl --checkpoint smgcn.npz --output-dir scored/ \\
+      --jobs 2 --shards 2 --backend processes --workers 2
 
 `train --checkpoint` persists trained weights so predict/serve start in
 milliseconds; `--shards`/`--backend` split herb scoring into column shards
@@ -256,6 +271,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="flush a partial batch once its oldest request has waited this "
         "long (default: 5.0)",
+    )
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="bulk offline scoring: stream JSONL prescription records "
+        "(files or stdin) through the model with checkpointed resume",
+    )
+    batch_parser.add_argument(
+        "inputs",
+        nargs="*",
+        metavar="FILE",
+        help="JSONL input files, one record per line ('-' or no files: "
+        "read stdin)",
+    )
+    _add_serving_arguments(batch_parser, multi_model=True)
+    batch_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write result lines to this file (default: stdout; a file "
+        "enables the checkpoint sidecar and --resume)",
+    )
+    batch_parser.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="with multiple input files: write one result file per input "
+        "(same basename) plus its checkpoint sidecar into this directory",
+    )
+    batch_parser.add_argument(
+        "--window",
+        type=int,
+        default=1024,
+        help="records scored, written and checkpointed per step — the "
+        "memory bound; output bytes do not depend on it (default: 1024)",
+    )
+    batch_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="concurrent input files drained from the per-file work queue "
+        "(they share one engine/backend fleet; default: 1)",
+    )
+    batch_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from its checkpoint sidecar: "
+        "truncate each output to the durable watermark and re-score only "
+        "the rest — the final output is byte-identical to an uninterrupted "
+        "run; a completed run is a no-op",
     )
 
     worker_parser = subparsers.add_parser(
@@ -898,6 +963,181 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_batch(args) -> int:
+    error = _check_k(args)
+    if error is not None:
+        return error
+    if args.window <= 0:
+        print("error: --window must be a positive integer", file=sys.stderr)
+        return 2
+    if args.jobs <= 0:
+        print("error: --jobs must be a positive integer", file=sys.stderr)
+        return 2
+    inputs = list(args.inputs) or ["-"]
+    use_stdin = any(path == "-" for path in inputs)
+    if use_stdin and len(inputs) > 1:
+        print("error: stdin ('-') cannot combine with file inputs", file=sys.stderr)
+        return 2
+    if args.output is not None and args.output_dir is not None:
+        print("error: --output conflicts with --output-dir", file=sys.stderr)
+        return 2
+    if len(inputs) > 1 and args.output_dir is None:
+        print(
+            "error: multiple input files need --output-dir (one result file "
+            "per input)",
+            file=sys.stderr,
+        )
+        return 2
+    if use_stdin and args.output_dir is not None:
+        print("error: --output-dir needs file inputs, not stdin", file=sys.stderr)
+        return 2
+    if use_stdin and args.jobs != 1:
+        print("error: --jobs needs file inputs, not stdin", file=sys.stderr)
+        return 2
+    to_stdout = args.output_dir is None and (args.output is None or args.output == "-")
+    if args.resume and (use_stdin or to_stdout):
+        print(
+            "error: --resume needs file inputs and a file --output (or "
+            "--output-dir) — stdin/stdout streams have no durable watermark",
+            file=sys.stderr,
+        )
+        return 2
+    if not use_stdin:
+        for path in inputs:
+            if not Path(path).is_file():
+                print(f"error: input {path} is not a readable file", file=sys.stderr)
+                return 2
+    try:
+        tasks = _batch_tasks(args, inputs, use_stdin)
+        plain_model, model_specs = _parse_model_specs(args.model)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if model_specs and args.checkpoint:
+        print(
+            "error: --checkpoint conflicts with --model NAME=checkpoint.npz entries",
+            file=sys.stderr,
+        )
+        return 2
+    from .io.checkpoint import validate_checkpoint_path
+
+    try:
+        for path in [path for _, path in model_specs] + (
+            [args.checkpoint] if args.checkpoint else []
+        ):
+            validate_checkpoint_path(path)
+    except CheckpointError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    args.model = plain_model  # _load_or_none/_build_pipeline take one plain name
+    try:
+        catalog = _build_catalog(args, model_specs)
+    except (ValueError, KeyError, OSError, CheckpointError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    try:
+        return _drive_batch(args, catalog, tasks)
+    finally:
+        catalog.close()  # release backend workers / shared memory / sockets
+
+
+def _batch_tasks(args, inputs, use_stdin):
+    """The ``(input, output)`` pairs a batch invocation streams."""
+    if use_stdin:
+        output = None if args.output in (None, "-") else args.output
+        return [(None, output)]
+    if args.output_dir is None:
+        output = None if args.output in (None, "-") else args.output
+        if output is not None and Path(output).resolve() == Path(inputs[0]).resolve():
+            raise ValueError(f"--output {output} would overwrite the input")
+        return [(inputs[0], output)]
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    seen = {}
+    tasks = []
+    for path in inputs:
+        name = Path(path).name
+        if name in seen:
+            raise ValueError(
+                f"inputs {seen[name]} and {path} share the basename {name!r}; "
+                "--output-dir needs distinct basenames"
+            )
+        seen[name] = path
+        target = out_dir / name
+        if target.resolve() == Path(path).resolve():
+            raise ValueError(
+                f"--output-dir {args.output_dir} would overwrite the input {path}"
+            )
+        tasks.append((path, target))
+    return tasks
+
+
+def _drive_batch(args, catalog, tasks) -> int:
+    """Run the prepared tasks and report stats; 0 ok, 1 on any file failure."""
+    import threading
+
+    from .batch.runner import BatchError, BatchStats, run_batch_file, run_batch_files
+
+    progress_lock = threading.Lock()
+    last_report = [time.monotonic()]
+
+    def progress(stats) -> None:
+        with progress_lock:
+            now = time.monotonic()
+            if now - last_report[0] < 5.0:
+                return
+            last_report[0] = now
+        print(
+            f"progress: {stats.records} records, {stats.records_per_s:.1f} rec/s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    if len(tasks) == 1 and (tasks[0][0] is None or tasks[0][1] is None):
+        # stdin and/or stdout endpoints — single stream, no work queue
+        input_path, output_path = tasks[0]
+        try:
+            stats = run_batch_file(
+                catalog,
+                input_path,
+                output_path,
+                window=args.window,
+                default_k=args.k,
+                resume=args.resume,
+                progress=progress,
+            )
+        except BatchError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        print(stats.to_text(), file=sys.stderr)
+        return 0
+    results = run_batch_files(
+        catalog,
+        tasks,
+        jobs=args.jobs,
+        window=args.window,
+        default_k=args.k,
+        resume=args.resume,
+        progress=progress,
+    )
+    total = BatchStats()
+    failed = False
+    for result in results:
+        if result.failed:
+            failed = True
+            print(f"error: {result.input_path}: {result.error}", file=sys.stderr)
+        else:
+            total.merge(result.stats)
+            if len(results) > 1:
+                print(
+                    f"{result.input_path} -> {result.output_path}: "
+                    f"{result.stats.to_text()}",
+                    file=sys.stderr,
+                )
+    print(total.to_text(), file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _check_admission(args) -> Optional[int]:
     """Validate the async front-end's admission knobs before any setup."""
     knobs = (
@@ -1047,6 +1287,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_predict(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "batch":
+        return _run_batch(args)
     if args.command == "shard-worker":
         return _run_shard_worker(args)
     raise AssertionError("unreachable")  # pragma: no cover

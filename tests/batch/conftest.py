@@ -1,0 +1,59 @@
+"""Shared fixtures for the batch-pipeline tests.
+
+One smoke-scale pipeline is trained per session and reused everywhere —
+batch bit-identity is always asserted against the *same* weights, and the
+checkpoint bundle backs the subprocess (SIGKILL) and CLI end-to-end tests.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Pipeline
+from repro.experiments.datasets import get_profile
+from repro.io.catalog import ModelCatalog
+
+
+@pytest.fixture(scope="session")
+def batch_pipeline():
+    return Pipeline(
+        "SMGCN", scale="smoke", trainer_config=get_profile("smoke").trainer_config(epochs=1)
+    ).fit()
+
+
+@pytest.fixture(scope="session")
+def batch_catalog(batch_pipeline):
+    return ModelCatalog.for_pipeline(batch_pipeline)
+
+
+@pytest.fixture(scope="session")
+def batch_checkpoint(batch_pipeline, tmp_path_factory):
+    """The session pipeline saved to disk, for subprocess / CLI runs."""
+    path = tmp_path_factory.mktemp("batch-ckpt") / "smgcn.npz"
+    batch_pipeline.save(path)
+    return path
+
+
+def make_corpus(path, count, num_symptoms=30, k=5, start=0):
+    """Write a deterministic JSONL corpus; returns the record ids."""
+    ids = []
+    with open(path, "w", encoding="utf-8") as stream:
+        for i in range(start, start + count):
+            record = {
+                "id": f"rx-{i:06d}",
+                "symptoms": [i % num_symptoms, (i * 7 + 3) % num_symptoms],
+                "k": 1 + (i % k),
+            }
+            ids.append(record["id"])
+            stream.write(json.dumps(record) + "\n")
+    return ids
+
+
+@pytest.fixture()
+def corpus_factory(tmp_path):
+    def factory(count, name="corpus.jsonl", **kwargs):
+        path = tmp_path / name
+        ids = make_corpus(path, count, **kwargs)
+        return path, ids
+
+    return factory

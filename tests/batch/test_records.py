@@ -1,0 +1,210 @@
+"""Property-style tests for the JSONL record codec.
+
+No hypothesis in the environment, so the properties run over seeded random
+sweeps: hundreds of generated records (arbitrary unicode tokens, huge ids,
+adversarial ks) plus mutation/garbage inputs, asserting the codec's two
+contracts — decode(encode(record)) is the identity on valid records, and
+*every* invalid input raises :class:`~repro.batch.records.RecordError` (the
+runner's error-line trigger), never any other exception.
+"""
+
+import json
+import math
+import random
+import string
+
+import pytest
+
+from repro.batch.records import (
+    BatchRecord,
+    RecordError,
+    decode_record,
+    encode_error,
+    encode_result,
+)
+
+# Token alphabet stressing the full unicode range: ASCII, JSON-special
+# characters, combining marks, CJK, astral-plane emoji, bidi controls.
+TRICKY_CHARS = (
+    string.ascii_letters
+    + string.digits
+    + "_-."
+    + '"\\/\b\f\n\r\t'
+    + " éß́中医草薯☃\U0001f33f\U0001f9ea‏ "
+)
+
+
+def random_token(rng):
+    return "".join(rng.choice(TRICKY_CHARS) for _ in range(rng.randint(1, 12)))
+
+
+def random_record(rng):
+    record = {
+        "id": (
+            rng.choice([rng.randint(-(10**20), 10**20), random_token(rng)])
+        ),
+        "symptoms": [
+            rng.choice([rng.randint(-5, 10**9), random_token(rng)])
+            for _ in range(rng.randint(1, 6))
+        ],
+    }
+    if rng.random() < 0.7:
+        record["k"] = rng.choice([1, 2, 17, 10**9, 10**18])
+    if rng.random() < 0.5:
+        record["model"] = random_token(rng)
+    return record
+
+
+class TestRoundTrip:
+    def test_decode_is_inverse_of_json_encode(self):
+        rng = random.Random(1234)
+        for _ in range(300):
+            payload = random_record(rng)
+            line = json.dumps(payload)
+            record = decode_record(line, default_k=7)
+            assert isinstance(record, BatchRecord)
+            assert record.id == payload["id"]
+            assert record.symptoms == payload["symptoms"]
+            assert record.k == payload.get("k", 7)
+            assert record.model == payload.get("model")
+
+    def test_symptoms_as_string(self):
+        record = decode_record('{"id": 1, "symptoms": "a b  c"}')
+        assert record.symptoms == "a b  c"
+
+    def test_duplicate_ids_are_not_the_codec_business(self):
+        # the codec validates records independently; duplicate ids across
+        # lines are legal and pass through untouched
+        a = decode_record('{"id": "dup", "symptoms": [1]}')
+        b = decode_record('{"id": "dup", "symptoms": [2]}')
+        assert a.id == b.id == "dup"
+
+    def test_result_line_round_trips_and_is_deterministic(self):
+        rng = random.Random(99)
+        for _ in range(100):
+            record_id = rng.choice([rng.randint(0, 10**12), random_token(rng)])
+            herbs = [random_token(rng) for _ in range(rng.randint(0, 5))]
+            herb_ids = [rng.randint(0, 10**6) for _ in herbs]
+            scores = [rng.uniform(-1e6, 1e6) for _ in herbs]
+            line = encode_result(record_id, "m", herbs, herb_ids, scores)
+            again = encode_result(record_id, "m", herbs, herb_ids, scores)
+            assert line == again  # byte-deterministic
+            assert "\n" not in line  # one record stays one line
+            parsed = json.loads(line)
+            assert parsed["id"] == record_id
+            assert parsed["herbs"] == herbs
+            assert parsed["herb_ids"] == herb_ids
+            assert parsed["scores"] == scores  # repr round-trip is exact
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "   ",
+            "not json",
+            "[1, 2]",
+            "42",
+            '"string"',
+            "null",
+            "true",
+            '{"id": 1, "symptoms": [1]',  # truncated
+            '{"id": 1}',  # no symptoms
+            '{"symptoms": [1]}',  # no id
+            '{"id": null, "symptoms": [1]}',
+            '{"id": true, "symptoms": [1]}',
+            '{"id": 1.5, "symptoms": [1]}',
+            '{"id": [1], "symptoms": [1]}',
+            '{"id": 1, "symptoms": []}',
+            '{"id": 1, "symptoms": ""}',
+            '{"id": 1, "symptoms": "   "}',
+            '{"id": 1, "symptoms": [[1]]}',
+            '{"id": 1, "symptoms": [1.5]}',
+            '{"id": 1, "symptoms": [true]}',
+            '{"id": 1, "symptoms": [null]}',
+            '{"id": 1, "symptoms": {"a": 1}}',
+            '{"id": 1, "symptoms": [1], "k": 0}',
+            '{"id": 1, "symptoms": [1], "k": -3}',
+            '{"id": 1, "symptoms": [1], "k": 2.0}',
+            '{"id": 1, "symptoms": [1], "k": true}',
+            '{"id": 1, "symptoms": [1], "k": "5"}',
+            '{"id": 1, "symptoms": [1], "k": NaN}',
+            '{"id": 1, "symptoms": [1], "k": Infinity}',
+            '{"id": 1, "symptoms": [1], "model": ""}',
+            '{"id": 1, "symptoms": [1], "model": 3}',
+            '{"id": 1, "symptoms": [1], "extra": true}',
+        ],
+    )
+    def test_malformed_records_raise_record_error_only(self, line):
+        with pytest.raises(RecordError):
+            decode_record(line)
+
+    def test_garbage_sweep_raises_record_error_only(self):
+        rng = random.Random(4321)
+        alphabet = TRICKY_CHARS + "{}[]:,"
+        for _ in range(500):
+            garbage = "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 60)))
+            try:
+                record = decode_record(garbage)
+            except RecordError:
+                continue  # the only exception the codec may raise
+            assert isinstance(record, BatchRecord)  # rare accidental valid JSON
+
+    def test_mutated_valid_records_never_raise_anything_else(self):
+        rng = random.Random(777)
+        for _ in range(300):
+            line = list(json.dumps(random_record(rng)))
+            for _ in range(rng.randint(1, 4)):  # random single-char mutations
+                position = rng.randrange(len(line))
+                line[position] = rng.choice(TRICKY_CHARS + "{}[]:,")
+            try:
+                decode_record("".join(line))
+            except RecordError:
+                pass
+
+    def test_error_carries_recovered_id(self):
+        with pytest.raises(RecordError) as exc_info:
+            decode_record('{"id": "rx-1", "symptoms": [], "k": 3}')
+        assert exc_info.value.record_id == "rx-1"
+
+    def test_error_without_recoverable_id(self):
+        with pytest.raises(RecordError) as exc_info:
+            decode_record('{"symptoms": [1]}')
+        assert exc_info.value.record_id is None
+
+
+class TestNaNFreeGuarantee:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_scores_refuse_to_encode(self, bad):
+        with pytest.raises(RecordError) as exc_info:
+            encode_result("rx", "m", ["h"], [0], [bad])
+        assert exc_info.value.record_id == "rx"
+
+    def test_non_finite_anywhere_in_the_list(self):
+        scores = [1.0, 2.0, float("nan"), 3.0]
+        with pytest.raises(RecordError):
+            encode_result(1, "m", list("abcd"), range(4), scores)
+
+    def test_emitted_lines_are_strict_json(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            scores = [rng.uniform(-10, 10) for _ in range(3)]
+            line = encode_result(rng.randint(0, 99), "m", list("abc"), range(3), scores)
+            parsed = json.loads(line)  # strict parser must accept every line
+            assert all(math.isfinite(value) for value in parsed["scores"])
+
+
+class TestErrorLines:
+    def test_error_line_shape(self):
+        assert json.loads(encode_error("rx-9", "boom")) == {"id": "rx-9", "error": "boom"}
+        assert json.loads(encode_error(4, "boom"))["id"] == 4
+
+    @pytest.mark.parametrize("bad_id", [None, True, 1.5, [1], {"a": 1}, object()])
+    def test_unusable_ids_become_null(self, bad_id):
+        assert json.loads(encode_error(bad_id, "boom"))["id"] is None
+
+    def test_error_lines_are_single_lines(self):
+        line = encode_error("a\nb", "reason\nwith newline")
+        assert "\n" not in line
+        assert json.loads(line)["error"] == "reason\nwith newline"
