@@ -165,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument(
         "--evaluate", action="store_true", help="print test-split metrics after training"
     )
+    train_parser.add_argument(
+        "--verbose", action="store_true", help="print one loss/timing line per epoch"
+    )
+    train_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-epoch phase timings and print the breakdown after training",
+    )
 
     predict_parser = subparsers.add_parser(
         "predict", help="print top-k herbs for one symptom set"
@@ -623,6 +631,31 @@ def _run_models(args) -> int:
     return 0
 
 
+def _print_profile_report(history) -> None:
+    """Per-epoch phase timings plus a summed breakdown (``train --profile``)."""
+    from .training.profiler import PHASES
+
+    print("phase profile:")
+    for profile in history.epoch_profiles:
+        print(f"  {profile.summary_line()}")
+    totals = {}
+    for profile in history.epoch_profiles:
+        for phase, seconds in profile.phase_seconds.items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    overall = history.total_training_seconds()
+    if overall > 0:
+        breakdown = " ".join(
+            f"{phase}={totals[phase] / overall:.0%}" for phase in PHASES if totals.get(phase)
+        )
+        print(f"  total {overall * 1e3:.1f}ms: {breakdown}")
+    last = history.epoch_profiles[-1]
+    if last.pool_counters:
+        hits = last.pool_counters.get("hits", 0)
+        acquires = last.pool_counters.get("acquires", 0)
+        rate = hits / acquires if acquires else 0.0
+        print(f"  gradient pool: {acquires} acquires, {rate:.0%} reuse")
+
+
 def _run_train(args) -> int:
     from .api import Pipeline
     from .training import paper_trainer_config
@@ -660,6 +693,9 @@ def _run_train(args) -> int:
             return 2
     else:
         trainer_config = _trainer_config(args.scale, args.epochs)
+    if trainer_config is not None:
+        trainer_config.verbose = trainer_config.verbose or args.verbose
+        trainer_config.profile = trainer_config.profile or args.profile
     try:
         pipeline = Pipeline(
             args.model, scale=args.scale, seed=args.seed, trainer_config=trainer_config
@@ -686,6 +722,8 @@ def _run_train(args) -> int:
         )
     else:
         print(f"fitted {args.model} ({args.scale}) in {elapsed:.1f}s")
+    if args.profile and pipeline.history is not None and pipeline.history.epoch_profiles:
+        _print_profile_report(pipeline.history)
     print(f"wrote {path}")
     if args.evaluate:
         result = pipeline.evaluate()

@@ -320,6 +320,47 @@ class GraphHerbRecommender(Module, HerbRecommender):
         syndrome = self.induce_syndrome(symptom_embeddings, symptom_sets)
         return syndrome @ herb_embeddings.T
 
+    def score_pairs(self, symptom_sets: Sequence[Sequence[int]], herb_ids) -> Tensor:
+        """Training-mode scores for a per-row *slice* of the herb vocabulary.
+
+        ``herb_ids`` is an integer array of shape ``(len(symptom_sets), K)``;
+        the result is a ``(len(symptom_sets), K)`` tensor whose entry
+        ``[i, k]`` is the inner product of row ``i``'s syndrome embedding with
+        herb ``herb_ids[i, k]``'s embedding — the same quantity
+        ``forward(symptom_sets)[i, herb_ids[i, k]]`` denotes, contracted only
+        against the gathered herb rows.  For pair-sampled objectives (BPR)
+        this turns the ``O(B * H * d)`` full-vocabulary score matrix into
+        ``O(B * K * d)`` work while the graph propagation still runs once.
+
+        The autograd graph is recorded exactly as in :meth:`forward` up to the
+        final contraction, so gradients flow into the propagation and the
+        syndrome MLP; the backward of the contraction scatter-adds only into
+        the gathered syndrome/herb rows.
+
+        Floating-point note: the contraction is an elementwise
+        multiply-and-sum rather than the full matrix product, so individual
+        scores may differ from ``forward``'s at the last-ulp level (BLAS picks
+        a different summation order) — same contract as the tiled serving
+        path.  Training paths that need the seed's exact full-matrix numerics
+        use the ``bpr_scoring="full"`` escape hatch instead.
+        """
+        herb_ids = np.asarray(herb_ids, dtype=np.int64)
+        if herb_ids.ndim != 2:
+            raise ValueError(f"herb_ids must be 2-D (rows, K), got shape {herb_ids.shape}")
+        if herb_ids.shape[0] != len(symptom_sets):
+            raise ValueError(
+                f"herb_ids has {herb_ids.shape[0]} rows for {len(symptom_sets)} symptom sets"
+            )
+        if herb_ids.size and (herb_ids.min() < 0 or herb_ids.max() >= self.num_herbs):
+            raise IndexError(f"herb ids out of range [0, {self.num_herbs})")
+        symptom_embeddings, herb_embeddings = self.encode()
+        syndrome = self.induce_syndrome(symptom_embeddings, symptom_sets)
+        num_rows, per_row = herb_ids.shape
+        row_ids = np.repeat(np.arange(num_rows, dtype=np.int64), per_row)
+        syndrome_rows = syndrome.gather_rows(row_ids)
+        herb_rows = herb_embeddings.gather_rows(herb_ids.reshape(-1))
+        return (syndrome_rows * herb_rows).sum(axis=1).reshape(num_rows, per_row)
+
     # ------------------------------------------------------------------
     # Cached graph propagation (serving / evaluation hot path)
     # ------------------------------------------------------------------

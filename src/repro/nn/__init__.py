@@ -37,11 +37,19 @@ from .ops import (
 )
 from .optim import SGD, Adam, Optimizer
 from .sparse import SparseMatrix, build_pooling_matrix, sparse_matmul
-from .tensor import Parameter, Tensor, as_tensor, is_grad_enabled, no_grad
+from .tensor import (
+    GradientBufferPool,
+    Parameter,
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+)
 
 __all__ = [
     "Tensor",
     "Parameter",
+    "GradientBufferPool",
     "as_tensor",
     "no_grad",
     "is_grad_enabled",

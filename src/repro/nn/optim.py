@@ -4,15 +4,33 @@ The paper optimises every model with Adam (Kingma & Ba, 2015) and controls
 overfitting with an L2 penalty on the parameters; both optimisers therefore
 support decoupled ``weight_decay`` applied as an additive ``lambda * theta``
 gradient term, matching the ``lambda * ||Theta||^2`` regulariser in Eq. (13).
+
+Both optimisers run a **fused in-place** update: moment/velocity state lives
+in preallocated buffers updated with ``np.multiply/add(..., out=)`` and the
+parameter itself is updated with a single in-place ``np.subtract``, so a step
+allocates nothing at steady state.  Every in-place kernel performs exactly
+the per-element arithmetic (same operations, same order) as the textbook
+out-of-place expressions the seed implementation used — the update is
+bit-identical, just without the five full-parameter temporaries per step.
+The frozen allocating originals are kept in :mod:`repro.training.reference`
+and the equivalence is asserted bit-for-bit in ``tests/nn/test_optim_losses``
+and ``benchmarks/bench_training_throughput.py``.
+
+Optimiser state is keyed by **parameter slot** (the index in the parameter
+list), not ``id(param)``: CPython reuses object ids after garbage collection,
+so an id-keyed moment dict can silently hand a rebuilt parameter another
+parameter's stale moments.  Slot keys make state ownership deterministic —
+slot ``i``'s state always belongs to ``self.parameters[i]`` — and a shape
+guard catches any slot being rebound to an incompatible parameter.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Parameter
+from .tensor import GradientBufferPool, Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
@@ -31,22 +49,62 @@ class Optimizer:
         self.lr = lr
         self.weight_decay = weight_decay
         self._step_count = 0
+        # Scratch buffers shared across parameters of the same shape; lazily
+        # allocated on first use and reused by every later step.
+        self._scratch: Dict[Tuple[int, ...], List[np.ndarray]] = {}
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, buffer_pool: Optional[GradientBufferPool] = None) -> None:
+        """Clear every parameter gradient.
+
+        With ``buffer_pool``, the accumulation buffers are released into the
+        pool instead of dropped, so the next backward pass reuses them —
+        the training loop's allocation-free steady state.
+        """
         for param in self.parameters:
-            param.zero_grad()
+            if buffer_pool is not None and param.grad is not None:
+                buffer_pool.release(param.grad)
+                param.grad = None
+            else:
+                param.zero_grad()
 
-    def _effective_grad(self, param: Parameter) -> np.ndarray:
-        grad = param.grad if param.grad is not None else np.zeros_like(param.data)
-        if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
-        return grad
+    def _scratch_buffers(self, shape: Tuple[int, ...], count: int) -> List[np.ndarray]:
+        """``count`` preallocated scratch arrays of ``shape`` (reused per step)."""
+        buffers = self._scratch.setdefault(shape, [])
+        while len(buffers) < count:
+            buffers.append(np.empty(shape, dtype=np.float64))
+        return buffers[:count]
+
+    def _effective_grad(self, param: Parameter, out: np.ndarray) -> Optional[np.ndarray]:
+        """The weight-decay-augmented gradient, built without allocating.
+
+        Returns ``param.grad`` itself when there is no weight decay, the
+        combined gradient written into ``out`` when there is, or ``None`` when
+        the parameter has no gradient and no decay applies (the caller skips
+        work the seed implementation spent a ``np.zeros_like`` on).
+        """
+        grad = param.grad
+        if not self.weight_decay:
+            return grad
+        # Same per-element expression as the seed's ``grad + wd * param``:
+        # the decay term is formed first, then added to the gradient.
+        np.multiply(param.data, self.weight_decay, out=out)
+        if grad is not None:
+            np.add(grad, out, out=out)
+        return out
 
     @staticmethod
     def _mark_updated(param: Parameter) -> None:
         """Bump the parameter's version so cached encodings invalidate."""
         if isinstance(param, Parameter):
             param.bump_version()
+
+    def scratch_bytes(self) -> int:
+        """Total bytes held in optimiser scratch buffers (profiler metric)."""
+        return sum(arr.nbytes for buffers in self._scratch.values() for arr in buffers)
+
+    def state_bytes(self) -> int:  # pragma: no cover - overridden where state exists
+        """Total bytes held in persistent optimiser state (moments/velocity)."""
+        return 0
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -66,23 +124,46 @@ class SGD(Optimizer):
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
-        self._velocity: Dict[int, np.ndarray] = {}
+        #: Velocity buffers keyed by parameter slot (``None`` until first use).
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self._step_count += 1
-        for param in self.parameters:
-            grad = self._effective_grad(param)
+        for slot, param in enumerate(self.parameters):
+            velocity = self._velocity[slot]
+            if param.grad is None and not self.weight_decay and velocity is None:
+                # No gradient, no decay, no momentum state: the seed update
+                # was numerically a no-op here (after allocating zeros for
+                # it); skip the parameter entirely.
+                continue
+            (buffer,) = self._scratch_buffers(param.data.shape, 1)
+            grad = self._effective_grad(param, out=buffer)
             if self.momentum:
-                velocity = self._velocity.get(id(param))
                 if velocity is None:
                     velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + grad
-                self._velocity[id(param)] = velocity
+                    self._velocity[slot] = velocity
+                elif velocity.shape != param.data.shape:
+                    raise ValueError(
+                        f"parameter slot {slot} changed shape {velocity.shape} -> "
+                        f"{param.data.shape}; rebuild the optimizer"
+                    )
+                # velocity = momentum * velocity + grad, fused in place.
+                np.multiply(velocity, self.momentum, out=velocity)
+                if grad is not None:
+                    np.add(velocity, grad, out=velocity)
                 update = velocity
             else:
+                if grad is None:
+                    continue  # nothing to apply and no state to advance
                 update = grad
-            param.data = param.data - self.lr * update
+            # param -= lr * update (scratch holds the scaled update so the
+            # velocity/grad array is left untouched; update may alias buffer).
+            np.multiply(update, self.lr, out=buffer)
+            np.subtract(param.data, buffer, out=param.data)
             self._mark_updated(param)
+
+    def state_bytes(self) -> int:
+        return sum(v.nbytes for v in self._velocity if v is not None)
 
 
 class Adam(Optimizer):
@@ -103,24 +184,57 @@ class Adam(Optimizer):
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
+        #: First/second moment buffers keyed by parameter slot.
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
-        for param in self.parameters:
-            grad = self._effective_grad(param)
-            m = self._m.get(id(param))
-            v = self._v.get(id(param))
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for slot, param in enumerate(self.parameters):
+            m = self._m[slot]
+            if param.grad is None and not self.weight_decay and m is None:
+                # Seed numerics: zero grad into zero moments leaves the
+                # parameter bit-identical; skip without allocating state.
+                continue
+            shape = param.data.shape
+            buffer1, buffer2, buffer3 = self._scratch_buffers(shape, 3)
+            grad = self._effective_grad(param, out=buffer3)
+            v = self._v[slot]
             if m is None:
                 m = np.zeros_like(param.data)
                 v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1.0 - self.beta1) * grad
-            v = self.beta2 * v + (1.0 - self.beta2) * (grad ** 2)
-            self._m[id(param)] = m
-            self._v[id(param)] = v
-            m_hat = m / (1.0 - self.beta1 ** t)
-            v_hat = v / (1.0 - self.beta2 ** t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                self._m[slot] = m
+                self._v[slot] = v
+            elif m.shape != shape:
+                raise ValueError(
+                    f"parameter slot {slot} changed shape {m.shape} -> {shape}; "
+                    f"rebuild the optimizer"
+                )
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, self.beta1, out=m)
+            # v = beta2 * v + (1 - beta2) * grad**2
+            np.multiply(v, self.beta2, out=v)
+            if grad is not None:
+                np.multiply(grad, 1.0 - self.beta1, out=buffer1)
+                np.add(m, buffer1, out=m)
+                np.multiply(grad, grad, out=buffer1)
+                np.multiply(buffer1, 1.0 - self.beta2, out=buffer1)
+                np.add(v, buffer1, out=v)
+            # param -= lr * m_hat / (sqrt(v_hat) + eps)
+            np.divide(m, bias1, out=buffer1)      # m_hat
+            np.divide(v, bias2, out=buffer2)      # v_hat
+            np.sqrt(buffer2, out=buffer2)
+            np.add(buffer2, self.eps, out=buffer2)
+            np.multiply(buffer1, self.lr, out=buffer1)
+            np.divide(buffer1, buffer2, out=buffer1)
+            np.subtract(param.data, buffer1, out=param.data)
             self._mark_updated(param)
+
+    def state_bytes(self) -> int:
+        total = 0
+        for buffers in (self._m, self._v):
+            total += sum(b.nbytes for b in buffers if b is not None)
+        return total

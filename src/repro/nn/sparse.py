@@ -9,7 +9,7 @@ pass proportional to the number of edges rather than ``|V|^2``.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -31,6 +31,11 @@ class SparseMatrix:
             self._matrix = matrix.tocsr().astype(np.float64)
         else:
             self._matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        # Lazily-built caches: graph layers take A.T every forward pass and
+        # every sparse_matmul backward multiplies by the transpose, so both
+        # conversions are paid once per matrix instead of once per batch.
+        self._transposed: Optional["SparseMatrix"] = None
+        self._transposed_scipy: Optional[sp.spmatrix] = None
 
     @property
     def shape(self):
@@ -46,7 +51,20 @@ class SparseMatrix:
         return self._matrix
 
     def transpose(self) -> "SparseMatrix":
-        return SparseMatrix(self._matrix.T)
+        if self._transposed is None:
+            self._transposed = SparseMatrix(self._matrix.T)
+        return self._transposed
+
+    def _backward_operand(self) -> sp.spmatrix:
+        """The transposed scipy matrix used by ``sparse_matmul``'s backward.
+
+        Cached so repeated backward passes reuse one object; the product it
+        feeds (``A.T @ grad``) is the exact expression the uncached code
+        evaluated, so gradients are bit-identical.
+        """
+        if self._transposed_scipy is None:
+            self._transposed_scipy = self._matrix.T
+        return self._transposed_scipy
 
     @property
     def T(self) -> "SparseMatrix":
@@ -116,6 +134,6 @@ def sparse_matmul(matrix: SparseMatrix, dense: Union[Tensor, np.ndarray]) -> Ten
 
     def grad_fn(grad: np.ndarray) -> None:
         if dense.requires_grad:
-            dense._accumulate_grad(matrix.scipy.T @ grad)
+            dense._accumulate_grad(matrix._backward_operand() @ grad)
 
     return Tensor._make(np.asarray(data), (dense,), grad_fn)

@@ -27,7 +27,14 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "GradientBufferPool",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
@@ -57,6 +64,68 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record the backward graph."""
     return getattr(_GRAD_STATE, "enabled", True)
+
+
+class GradientBufferPool:
+    """Reusable float64 gradient buffers keyed by shape.
+
+    Backward passes allocate one accumulation buffer per graph node; across a
+    training run the graph has the same shape every step, so the same set of
+    buffers can serve every batch.  :meth:`Tensor.backward` (when handed a
+    pool) acquires each node's accumulation buffer here and releases it back
+    as soon as the node's ``grad_fn`` has propagated it to the parents, so the
+    steady state after one warm-up step is **zero new gradient allocations**
+    (``misses`` stops growing — the property the allocation tests assert).
+
+    The pool is not thread-safe; use one pool per training loop.
+    """
+
+    __slots__ = ("_free", "acquires", "hits", "misses", "releases")
+
+    def __init__(self) -> None:
+        self._free: dict = {}
+        self.acquires = 0
+        self.hits = 0
+        self.misses = 0
+        self.releases = 0
+
+    def acquire(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """A float64 buffer of ``shape`` (contents undefined; caller overwrites)."""
+        self.acquires += 1
+        stack = self._free.get(shape)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(shape, dtype=np.float64)
+
+    def release(self, array: np.ndarray) -> None:
+        """Return ``array`` to the pool for reuse by a later :meth:`acquire`."""
+        self.releases += 1
+        self._free.setdefault(array.shape, []).append(array)
+
+    @property
+    def num_free(self) -> int:
+        return sum(len(stack) for stack in self._free.values())
+
+    def pooled_bytes(self) -> int:
+        """Total bytes currently parked in the pool (free buffers only)."""
+        return sum(arr.nbytes for stack in self._free.values() for arr in stack)
+
+    def counters(self) -> dict:
+        """Snapshot of the allocation counters (for profiler reports)."""
+        return {
+            "acquires": self.acquires,
+            "hits": self.hits,
+            "misses": self.misses,
+            "releases": self.releases,
+            "free_buffers": self.num_free,
+            "pooled_bytes": self.pooled_bytes(),
+        }
+
+
+def _active_pool() -> Optional["GradientBufferPool"]:
+    return getattr(_GRAD_STATE, "buffer_pool", None)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -132,8 +201,17 @@ class Tensor:
         """Return a tensor sharing data but detached from the graph."""
         return Tensor(self.data, requires_grad=False)
 
-    def zero_grad(self) -> None:
-        self.grad = None
+    def zero_grad(self, keep_buffer: bool = False) -> None:
+        """Clear the gradient.
+
+        ``keep_buffer=True`` zeroes the existing accumulation buffer in place
+        instead of dropping it, so the next backward pass reuses the same
+        memory (the allocation-free training fast path).
+        """
+        if keep_buffer and self.grad is not None:
+            self.grad.fill(0.0)
+        else:
+            self.grad = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -149,7 +227,21 @@ class Tensor:
     def _accumulate_grad(self, grad: np.ndarray) -> None:
         grad = np.asarray(grad, dtype=np.float64)
         if self.grad is None:
-            self.grad = grad.copy()
+            # First contribution: copy into an owned buffer.  With an active
+            # pool the buffer is recycled from earlier steps (np.copyto writes
+            # the exact same bits grad.copy() would), so steady-state training
+            # allocates nothing here.
+            pool = _active_pool()
+            if pool is not None:
+                buffer = pool.acquire(grad.shape)
+                np.copyto(buffer, grad)
+                self.grad = buffer
+            else:
+                self.grad = grad.copy()
+        elif self.grad.shape == grad.shape:
+            # In-place accumulation: per element identical to the out-of-place
+            # ``self.grad + grad`` (same adds, same order), without the copy.
+            np.add(self.grad, grad, out=self.grad)
         else:
             self.grad = self.grad + grad
 
@@ -166,11 +258,22 @@ class Tensor:
             out.grad_fn = grad_fn
         return out
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def backward(
+        self,
+        grad: Optional[ArrayLike] = None,
+        buffer_pool: Optional[GradientBufferPool] = None,
+    ) -> None:
         """Backpropagate ``grad`` (default: ones) from this tensor.
 
         Populates ``.grad`` on every tensor in the reachable graph that has
         ``requires_grad=True``.
+
+        With ``buffer_pool``, every intermediate node's accumulation buffer is
+        acquired from the pool and released back as soon as the node's
+        gradient has been propagated to its parents (its ``.grad`` is reset to
+        ``None``); only leaves — parameters and user tensors without a
+        ``grad_fn`` — keep their gradients.  Reusing one pool across batches
+        makes steady-state backward passes allocation-free.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
@@ -198,10 +301,20 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate_grad(grad)
-        for node in reversed(topo):
-            if node.grad_fn is not None and node.grad is not None:
-                node.grad_fn(node.grad)
+        previous_pool = _active_pool()
+        _GRAD_STATE.buffer_pool = buffer_pool
+        try:
+            self._accumulate_grad(grad)
+            for node in reversed(topo):
+                if node.grad_fn is not None and node.grad is not None:
+                    node.grad_fn(node.grad)
+                    if buffer_pool is not None:
+                        # Interior node: its gradient has been fully consumed
+                        # by the parents; recycle the buffer immediately.
+                        buffer_pool.release(node.grad)
+                        node.grad = None
+        finally:
+            _GRAD_STATE.buffer_pool = previous_pool
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic

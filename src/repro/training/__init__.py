@@ -1,12 +1,19 @@
 """Training loop and configuration for the neural herb recommenders."""
 
 from .config import PAPER_OPTIMAL_PARAMETERS, TrainerConfig, paper_trainer_config
+from .profiler import EpochProfile, TrainProfiler
+from .reference import ReferenceAdam, ReferenceSGD, ReferenceTrainer
 from .trainer import Trainer, TrainingHistory
 
 __all__ = [
     "TrainerConfig",
     "Trainer",
     "TrainingHistory",
+    "TrainProfiler",
+    "EpochProfile",
+    "ReferenceTrainer",
+    "ReferenceAdam",
+    "ReferenceSGD",
     "PAPER_OPTIMAL_PARAMETERS",
     "paper_trainer_config",
 ]

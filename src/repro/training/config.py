@@ -14,6 +14,8 @@ __all__ = ["TrainerConfig", "PAPER_OPTIMAL_PARAMETERS", "paper_trainer_config"]
 
 _VALID_LOSSES = ("multilabel", "multilabel_unweighted", "bpr", "logloss")
 
+_VALID_BPR_SCORING = ("pair", "full")
+
 
 @dataclass
 class TrainerConfig:
@@ -29,6 +31,13 @@ class TrainerConfig:
     shuffle: bool = True
     verbose: bool = False
     eval_every: Optional[int] = None
+    #: BPR scoring recipe: ``"pair"`` scores only the sampled herb pairs
+    #: (O(batch * samples * dim)); ``"full"`` materialises the complete
+    #: score matrix like the seed implementation (O(batch * herbs * dim)).
+    #: Ignored by the dense losses, which always score the full vocabulary.
+    bpr_scoring: str = "pair"
+    #: Record per-epoch phase timings in the history's ``epoch_profiles``.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -45,6 +54,10 @@ class TrainerConfig:
             raise ValueError("negative_samples must be positive")
         if self.eval_every is not None and self.eval_every <= 0:
             raise ValueError("eval_every must be positive when provided")
+        if self.bpr_scoring not in _VALID_BPR_SCORING:
+            raise ValueError(
+                f"bpr_scoring must be one of {_VALID_BPR_SCORING}, got {self.bpr_scoring!r}"
+            )
 
 
 #: The optimal hyper-parameters the paper reports in Table III, kept verbatim so

@@ -1,0 +1,305 @@
+"""Frozen seed-implementation trainer: the fast path's parity baseline.
+
+The production :class:`~repro.training.Trainer` runs the fused fast path —
+in-place slot-keyed optimisers, pooled gradient buffers, pair-sliced BPR
+scoring.  Its correctness contract is *bit-identity*: per-epoch losses and the
+final ``state_dict`` must match what the original allocating implementation
+produced.  This module pins that original implementation verbatim —
+``id``-keyed moment dictionaries, ``np.zeros_like`` gradients for parameters
+without grads, out-of-place update expressions, full-vocabulary BPR scoring —
+so the equivalence can be asserted forever, not just against a git revision.
+
+``tests/training/test_fast_path_parity.py`` and
+``benchmarks/bench_training_throughput.py`` train the same model twice (same
+seeds) with :class:`Trainer` and :class:`ReferenceTrainer` and compare every
+epoch loss and every parameter with ``.tobytes()`` equality.
+
+Scoring recipes are compared like-for-like: dense losses and
+``bpr_scoring="full"`` use the seed's full-vocabulary score matrix in both
+trainers; ``bpr_scoring="pair"`` uses :meth:`GraphHerbRecommender.score_pairs`
+in both.  (The pair contraction is *not* bit-identical to slicing the full
+matrix product — BLAS picks a different summation order per shape — which is
+exactly why the escape hatch exists; see ``docs/TRAINING.md``.)
+
+Do not optimise this module.  Its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..data.loaders import Batch, batch_iterator
+from ..data.prescriptions import PrescriptionDataset
+from ..evaluation.evaluator import Evaluator
+from ..models.base import GraphHerbRecommender
+from ..nn import (
+    Parameter,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    bpr_loss,
+    herb_frequency_weights,
+    weighted_multilabel_mse,
+)
+from .config import TrainerConfig
+from .trainer import TrainingHistory
+
+__all__ = ["ReferenceTrainer", "ReferenceAdam", "ReferenceSGD"]
+
+
+class _ReferenceOptimizer:
+    """Seed optimiser base: allocating ``_effective_grad``, no scratch reuse."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _effective_grad(self, param: Parameter) -> np.ndarray:
+        # Seed behaviour, kept verbatim: a missing gradient becomes a fresh
+        # zeros array every step, and weight decay allocates the sum.
+        grad = param.grad if param.grad is not None else np.zeros_like(param.data)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+    @staticmethod
+    def _mark_updated(param: Parameter) -> None:
+        if isinstance(param, Parameter):
+            param.bump_version()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ReferenceSGD(_ReferenceOptimizer):
+    """The seed SGD: out-of-place updates, ``id(param)``-keyed velocity."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr=lr, weight_decay=weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.parameters:
+            grad = self._effective_grad(param)
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+            self._mark_updated(param)
+
+
+class ReferenceAdam(_ReferenceOptimizer):
+    """The seed Adam: five temporaries per parameter per step."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr=lr, weight_decay=weight_decay)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for param in self.parameters:
+            grad = self._effective_grad(param)
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * (grad ** 2)
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1.0 - self.beta1 ** t)
+            v_hat = v / (1.0 - self.beta2 ** t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._mark_updated(param)
+
+
+class ReferenceTrainer:
+    """The seed training loop, kept byte-for-byte in behaviour.
+
+    No buffer pool, no profiler, allocating optimisers, and the original
+    control flow.  Supports the same ``TrainerConfig`` as the fast trainer so
+    the two can be launched from identical configs.
+    """
+
+    MAX_NEGATIVE_RESAMPLE_ROUNDS = 16
+
+    def __init__(self, config: Optional[TrainerConfig] = None) -> None:
+        self.config = config if config is not None else TrainerConfig()
+
+    def fit(
+        self,
+        model: GraphHerbRecommender,
+        train_dataset: PrescriptionDataset,
+        validation_evaluator: Optional[Evaluator] = None,
+    ) -> TrainingHistory:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        optimizer = ReferenceAdam(
+            model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+        herb_weights = herb_frequency_weights(train_dataset.herb_frequencies())
+        history = TrainingHistory()
+        model.train()
+        for epoch in range(config.epochs):
+            epoch_loss = 0.0
+            num_batches = 0
+            for batch in batch_iterator(
+                train_dataset,
+                batch_size=config.batch_size,
+                shuffle=config.shuffle,
+                rng=rng,
+            ):
+                optimizer.zero_grad()
+                loss = self._batch_loss(model, batch, herb_weights, rng)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                num_batches += 1
+            mean_loss = epoch_loss / max(num_batches, 1)
+            history.epoch_losses.append(mean_loss)
+            if (
+                validation_evaluator is not None
+                and config.eval_every is not None
+                and (epoch + 1) % config.eval_every == 0
+            ):
+                result = validation_evaluator.evaluate(model)
+                history.validation_metrics.append(dict(result.metrics))
+                model.train()
+        model.eval()
+        return history
+
+    def _batch_loss(
+        self,
+        model: GraphHerbRecommender,
+        batch: Batch,
+        herb_weights: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tensor:
+        loss_name = self.config.loss
+        if loss_name == "bpr":
+            return self._bpr_batch_loss(model, batch, rng)
+        scores = model(batch.symptom_sets)
+        if loss_name == "multilabel":
+            return weighted_multilabel_mse(scores, batch.herb_targets, herb_weights)
+        if loss_name == "multilabel_unweighted":
+            return weighted_multilabel_mse(scores, batch.herb_targets, None)
+        if loss_name == "logloss":
+            return binary_cross_entropy_with_logits(scores, batch.herb_targets)
+        raise ValueError(f"unsupported loss {loss_name!r}")  # pragma: no cover
+
+    def _bpr_batch_loss(
+        self, model: GraphHerbRecommender, batch: Batch, rng: np.random.Generator
+    ) -> Tensor:
+        """Seed BPR batch loss; pair scoring mirrors the fast recipe exactly."""
+        num_herbs = model.num_herbs
+        samples = self.config.negative_samples
+        pair_scoring = getattr(self.config, "bpr_scoring", "full") == "pair"
+        herb_arrays = [np.asarray(h, dtype=np.int64) for h in batch.herb_sets]
+        valid_rows = np.array(
+            [
+                row
+                for row, herbs in enumerate(herb_arrays)
+                if 0 < herbs.size and np.unique(herbs).size < num_herbs
+            ],
+            dtype=np.int64,
+        )
+        scores: Optional[Tensor] = None
+        if not pair_scoring:
+            scores = model(batch.symptom_sets)
+        if valid_rows.size == 0:
+            if scores is None:
+                scores = model(batch.symptom_sets)
+            return (scores * 0.0).sum()
+
+        pools = [herb_arrays[row] for row in valid_rows]
+        lengths = np.array([pool.size for pool in pools], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths[:-1])])
+        flat_pool = np.concatenate(pools)
+        draw = (rng.random((valid_rows.size, samples)) * lengths[:, None]).astype(np.int64)
+        positive_ids = flat_pool[(offsets[:, None] + draw)].ravel()
+
+        member = np.zeros((valid_rows.size, num_herbs), dtype=bool)
+        member[np.repeat(np.arange(valid_rows.size), lengths), flat_pool] = True
+        negative_ids = rng.integers(0, num_herbs, size=(valid_rows.size, samples))
+        local_rows = np.arange(valid_rows.size)[:, None]
+        for _ in range(self.MAX_NEGATIVE_RESAMPLE_ROUNDS):
+            colliding = member[local_rows, negative_ids]
+            if not colliding.any():
+                break
+            redraw = rng.integers(0, num_herbs, size=int(colliding.sum()))
+            negative_ids[colliding] = redraw
+        colliding = member[local_rows, negative_ids]
+        if colliding.any():
+            for row, col in zip(*np.nonzero(colliding)):
+                complement = np.flatnonzero(~member[row])
+                negative_ids[row, col] = int(rng.choice(complement))
+        negative_ids = negative_ids.ravel()
+
+        if pair_scoring:
+            herb_ids = np.concatenate(
+                [
+                    positive_ids.reshape(valid_rows.size, samples),
+                    negative_ids.reshape(valid_rows.size, samples),
+                ],
+                axis=1,
+            )
+            subset = [batch.symptom_sets[row] for row in valid_rows]
+            pair_scores = model.score_pairs(subset, herb_ids)
+            flat = pair_scores.reshape(-1)
+            width = 2 * samples
+            base = np.arange(valid_rows.size, dtype=np.int64)[:, None] * width
+            column = np.arange(samples, dtype=np.int64)[None, :]
+            positive_scores = flat.gather_rows((base + column).ravel())
+            negative_scores = flat.gather_rows((base + samples + column).ravel())
+            return bpr_loss(positive_scores, negative_scores)
+
+        row_ids = np.repeat(valid_rows, samples)
+        flat = scores.reshape(-1)
+        positive_scores = flat.gather_rows(row_ids * num_herbs + positive_ids)
+        negative_scores = flat.gather_rows(row_ids * num_herbs + negative_ids)
+        return bpr_loss(positive_scores, negative_scores)

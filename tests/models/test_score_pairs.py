@@ -1,0 +1,106 @@
+"""Tests for GraphHerbRecommender.score_pairs (pair-sliced training scores)."""
+
+import numpy as np
+import pytest
+
+import repro.models  # noqa: F401 - populate the registry
+from repro.models.registry import MODEL_REGISTRY
+
+
+def _build(name, train, seed=0):
+    entry = MODEL_REGISTRY.get(name)
+    return entry.build(train, entry.default_config(seed=seed))
+
+
+@pytest.fixture(scope="module")
+def train_split(tiny_split):
+    train, _ = tiny_split
+    return train
+
+
+class TestScorePairsValues:
+    @pytest.mark.parametrize("name", MODEL_REGISTRY.neural_names())
+    def test_matches_forward_slice(self, name, train_split):
+        model = _build(name, train_split)
+        model.eval()
+        sets = train_split.symptom_sets()[:6]
+        rng = np.random.default_rng(0)
+        herb_ids = rng.integers(0, model.num_herbs, size=(6, 5))
+        full = model(sets).data
+        pair = model.score_pairs(sets, herb_ids).data
+        assert pair.shape == (6, 5)
+        expected = full[np.arange(6)[:, None], herb_ids]
+        # Same contraction up to summation order; not bitwise (BLAS blocks the
+        # full product differently) — the trainer's escape hatch covers the
+        # cases that need exact full-matrix numerics.
+        np.testing.assert_allclose(pair, expected, rtol=1e-12, atol=1e-12)
+
+    def test_duplicate_and_repeated_rows_allowed(self, train_split):
+        model = _build("SMGCN", train_split)
+        model.eval()
+        sets = train_split.symptom_sets()[:3]
+        herb_ids = np.zeros((3, 4), dtype=np.int64)  # same herb repeated
+        pair = model.score_pairs(sets, herb_ids).data
+        # all four columns score the same herb: identical values per row
+        assert np.all(pair == pair[:, :1])
+
+    def test_gradients_flow_to_all_parameters(self, train_split):
+        model = _build("SMGCN", train_split)
+        model.train()
+        sets = train_split.symptom_sets()[:4]
+        herb_ids = np.random.default_rng(1).integers(0, model.num_herbs, size=(4, 3))
+        loss = model.score_pairs(sets, herb_ids).sum()
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+    def test_pair_gradients_match_equivalent_full_loss(self, train_split):
+        """Summing gathered full-matrix scores gives the same gradients."""
+        model = _build("NGCF", train_split)
+        model.eval()  # disable dropout so both passes see identical masks
+        sets = train_split.symptom_sets()[:5]
+        herb_ids = np.random.default_rng(2).integers(0, model.num_herbs, size=(5, 2))
+
+        loss_pair = model.score_pairs(sets, herb_ids).sum()
+        loss_pair.backward()
+        pair_grads = [p.grad.copy() for p in model.parameters()]
+        for p in model.parameters():
+            p.grad = None
+
+        scores = model(sets)
+        flat = scores.reshape(-1)
+        rows = np.repeat(np.arange(5), 2)
+        loss_full = flat.gather_rows(rows * model.num_herbs + herb_ids.ravel()).sum()
+        loss_full.backward()
+        for p, expected in zip(model.parameters(), pair_grads):
+            np.testing.assert_allclose(p.grad, expected, rtol=1e-9, atol=1e-12)
+
+
+class TestScorePairsValidation:
+    def test_rejects_1d_ids(self, train_split):
+        model = _build("SMGCN", train_split)
+        with pytest.raises(ValueError, match="2-D"):
+            model.score_pairs(train_split.symptom_sets()[:3], np.zeros(3, dtype=np.int64))
+
+    def test_rejects_row_mismatch(self, train_split):
+        model = _build("SMGCN", train_split)
+        with pytest.raises(ValueError, match="rows"):
+            model.score_pairs(
+                train_split.symptom_sets()[:3], np.zeros((2, 4), dtype=np.int64)
+            )
+
+    def test_rejects_out_of_range_ids(self, train_split):
+        model = _build("SMGCN", train_split)
+        sets = train_split.symptom_sets()[:2]
+        with pytest.raises(IndexError):
+            model.score_pairs(sets, np.full((2, 2), model.num_herbs, dtype=np.int64))
+        with pytest.raises(IndexError):
+            model.score_pairs(sets, np.full((2, 2), -1, dtype=np.int64))
+
+    def test_empty_batch_rejected_like_forward(self, train_split):
+        # syndrome induction rejects empty batches for forward(); score_pairs
+        # inherits the same contract
+        model = _build("SMGCN", train_split)
+        with pytest.raises(ValueError):
+            model.score_pairs([], np.zeros((0, 3), dtype=np.int64))

@@ -1,0 +1,151 @@
+"""Tests for the gradient buffer pool and pooled backward passes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, GradientBufferPool, Linear, Parameter, Tensor
+
+
+def _mlp_forward(layers, x):
+    h = x
+    for layer in layers:
+        h = layer(h).relu() if hasattr(layer(h), "relu") else layer(h)
+    return h
+
+
+class TestGradientBufferPool:
+    def test_acquire_miss_then_hit(self):
+        pool = GradientBufferPool()
+        first = pool.acquire((3, 2))
+        assert first.shape == (3, 2) and first.dtype == np.float64
+        assert pool.misses == 1 and pool.hits == 0
+        pool.release(first)
+        assert pool.num_free == 1
+        second = pool.acquire((3, 2))
+        assert second is first
+        assert pool.hits == 1
+        assert pool.num_free == 0
+
+    def test_distinct_shapes_do_not_collide(self):
+        pool = GradientBufferPool()
+        a = pool.acquire((2, 2))
+        pool.release(a)
+        b = pool.acquire((4,))
+        assert b.shape == (4,)
+        assert pool.misses == 2  # the (2,2) buffer was not reused for (4,)
+
+    def test_counters_dict(self):
+        pool = GradientBufferPool()
+        buf = pool.acquire((5,))
+        pool.release(buf)
+        pool.acquire((5,))
+        counters = pool.counters()
+        assert counters["acquires"] == 2
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["releases"] == 1
+        assert counters["free_buffers"] == 0
+
+    def test_pooled_bytes(self):
+        pool = GradientBufferPool()
+        buf = pool.acquire((10,))
+        assert pool.pooled_bytes() == 0
+        pool.release(buf)
+        assert pool.pooled_bytes() == 10 * 8
+
+
+class TestPooledBackward:
+    def _problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        layer1 = Linear(4, 6, rng=np.random.default_rng(1))
+        layer2 = Linear(6, 2, rng=np.random.default_rng(2))
+        x = Tensor(rng.normal(size=(8, 4)))
+        y = rng.normal(size=(8, 2))
+
+        def loss_fn():
+            pred = layer2(layer1(x).tanh())
+            return ((pred - Tensor(y)) ** 2).mean()
+
+        params = list(layer1.parameters()) + list(layer2.parameters())
+        return loss_fn, params
+
+    def test_pooled_gradients_bitwise_match_unpooled(self):
+        loss_fn, params = self._problem()
+        loss_fn().backward()
+        plain = [p.grad.copy() for p in params]
+        for p in params:
+            p.grad = None
+
+        pool = GradientBufferPool()
+        loss_fn().backward(buffer_pool=pool)
+        for p, expected in zip(params, plain):
+            assert p.grad.tobytes() == expected.tobytes()
+
+    def test_interior_nodes_release_buffers_leaves_keep_grads(self):
+        loss_fn, params = self._problem()
+        pool = GradientBufferPool()
+        loss = loss_fn()
+        loss.backward(buffer_pool=pool)
+        for p in params:
+            assert p.grad is not None
+        # every interior buffer came back: acquires == releases + live leaves
+        counters = pool.counters()
+        assert counters["releases"] == counters["acquires"] - len(
+            [p for p in params if p.grad is not None]
+        )
+
+    def test_steady_state_has_no_new_misses(self):
+        loss_fn, params = self._problem()
+        pool = GradientBufferPool()
+        opt = Adam(params, lr=1e-3)
+
+        def one_step():
+            opt.zero_grad(buffer_pool=pool)
+            loss_fn().backward(buffer_pool=pool)
+            opt.step()
+
+        one_step()
+        warm_misses = pool.misses
+        for _ in range(10):
+            one_step()
+        assert pool.misses == warm_misses
+        assert pool.hits > 0
+
+    def test_zero_grad_without_pool_still_clears(self):
+        loss_fn, params = self._problem()
+        opt = Adam(params, lr=1e-3)
+        loss_fn().backward()
+        opt.zero_grad()
+        assert all(p.grad is None for p in params)
+
+    def test_tensor_zero_grad_keep_buffer(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        t.grad = np.ones(3)
+        buffer = t.grad
+        t.zero_grad(keep_buffer=True)
+        assert t.grad is buffer
+        np.testing.assert_array_equal(t.grad, np.zeros(3))
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_backward_without_pool_unaffected_by_prior_pooled_call(self):
+        loss_fn, params = self._problem()
+        pool = GradientBufferPool()
+        loss_fn().backward(buffer_pool=pool)
+        pooled = [p.grad.copy() for p in params]
+        for p in params:
+            p.grad = None
+        loss_fn().backward()  # no pool: must not touch the previous pool
+        releases_before = pool.releases
+        assert pool.releases == releases_before
+        for p, expected in zip(params, pooled):
+            assert p.grad.tobytes() == expected.tobytes()
+
+    def test_reentrant_pool_state_restored_on_error(self):
+        pool = GradientBufferPool()
+        bad = Tensor(np.ones(2), requires_grad=False)
+        with pytest.raises(RuntimeError):
+            bad.backward(buffer_pool=pool)
+        # a later pooled backward still works and the active-pool state is clean
+        t = (Tensor(np.ones(2), requires_grad=True) * 2.0).sum()
+        t.backward(buffer_pool=pool)

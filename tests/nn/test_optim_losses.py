@@ -222,3 +222,188 @@ class TestLogAndMarginLosses:
 
     def test_l2_penalty_empty(self):
         assert l2_penalty([]).item() == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# Fast-path optimisers: bitwise parity with the frozen seed implementation
+# ----------------------------------------------------------------------
+class TestFusedOptimizerParity:
+    """The fused in-place steps must be bit-identical to the allocating seed."""
+
+    def _paired_params(self, shapes, seed=0):
+        rng = np.random.default_rng(seed)
+        datas = [rng.normal(size=shape) for shape in shapes]
+        fast = [Parameter(data.copy()) for data in datas]
+        ref = [Parameter(data.copy()) for data in datas]
+        return fast, ref, rng
+
+    def _assign_grads(self, fast, ref, rng, skip=()):
+        for index, (fp, rp) in enumerate(zip(fast, ref)):
+            if index in skip:
+                fp.grad = None
+                rp.grad = None
+                continue
+            grad = rng.normal(size=fp.data.shape)
+            fp.grad = grad.copy()
+            rp.grad = grad.copy()
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 7e-3])
+    def test_adam_bitwise_identical(self, weight_decay):
+        from repro.training.reference import ReferenceAdam
+
+        shapes = [(5, 3), (3,), (2, 2)]
+        fast, ref, rng = self._paired_params(shapes)
+        fast_opt = Adam(fast, lr=1e-2, weight_decay=weight_decay)
+        ref_opt = ReferenceAdam(ref, lr=1e-2, weight_decay=weight_decay)
+        for step in range(25):
+            self._assign_grads(fast, ref, rng, skip=(step % 3,) if step % 5 == 0 else ())
+            fast_opt.step()
+            ref_opt.step()
+            for fp, rp in zip(fast, ref):
+                assert fp.data.tobytes() == rp.data.tobytes(), f"diverged at step {step}"
+
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    @pytest.mark.parametrize("weight_decay", [0.0, 1e-3])
+    def test_sgd_bitwise_identical(self, momentum, weight_decay):
+        from repro.training.reference import ReferenceSGD
+
+        shapes = [(4, 4), (6,)]
+        fast, ref, rng = self._paired_params(shapes, seed=3)
+        fast_opt = SGD(fast, lr=0.05, momentum=momentum, weight_decay=weight_decay)
+        ref_opt = ReferenceSGD(ref, lr=0.05, momentum=momentum, weight_decay=weight_decay)
+        for step in range(25):
+            self._assign_grads(fast, ref, rng)
+            fast_opt.step()
+            ref_opt.step()
+            for fp, rp in zip(fast, ref):
+                assert fp.data.tobytes() == rp.data.tobytes(), f"diverged at step {step}"
+
+    def test_adam_step_allocates_no_new_state_after_warmup(self):
+        rng = np.random.default_rng(0)
+        params = [Parameter(rng.normal(size=(64, 8))), Parameter(rng.normal(size=(8,)))]
+        opt = Adam(params, lr=1e-3, weight_decay=1e-4)
+        for param in params:
+            param.grad = rng.normal(size=param.data.shape)
+        opt.step()
+        state = opt.state_bytes()
+        scratch = opt.scratch_bytes()
+        for _ in range(10):
+            for param in params:
+                param.grad = rng.normal(size=param.data.shape)
+            opt.step()
+        assert opt.state_bytes() == state
+        assert opt.scratch_bytes() == scratch
+
+
+class TestOptimizerSlotKeying:
+    """Regression: state must be keyed by parameter slot, not id(param).
+
+    CPython recycles object ids, so an ``id``-keyed moment dict can hand a
+    new parameter another parameter's stale moments.  Slot keying makes
+    ownership positional and detectable.
+    """
+
+    def test_state_is_positional_not_id_keyed(self):
+        params = [Parameter(np.ones((2, 2))), Parameter(np.zeros(3))]
+        opt = Adam(params, lr=0.1)
+        for param in params:
+            param.grad = np.ones_like(param.data)
+        opt.step()
+        assert isinstance(opt._m, list) and isinstance(opt._v, list)
+        assert opt._m[0].shape == (2, 2)
+        assert opt._m[1].shape == (3,)
+
+    def test_slot_state_survives_id_reuse(self):
+        import gc
+
+        params = [Parameter(np.ones(4))]
+        opt = Adam(params, lr=0.1)
+        params[0].grad = np.ones(4)
+        opt.step()
+        moments = opt._m[0].copy()
+        # Free an unrelated parameter whose id may be recycled by the next
+        # allocation; slot-keyed state cannot be affected by it.
+        doomed = Parameter(np.zeros(4))
+        del doomed
+        gc.collect()
+        replacement = Parameter(np.zeros(4))  # may reuse the freed id
+        assert opt._m[0].tobytes() == moments.tobytes()
+        del replacement
+
+    def test_shape_change_raises_instead_of_corrupting(self):
+        param = Parameter(np.ones(3))
+        opt = Adam([param], lr=0.1)
+        param.grad = np.ones(3)
+        opt.step()
+        opt.parameters[0] = Parameter(np.ones((2, 2)))
+        opt.parameters[0].grad = np.ones((2, 2))
+        with pytest.raises(ValueError, match="changed shape"):
+            opt.step()
+
+    def test_sgd_momentum_shape_change_raises(self):
+        param = Parameter(np.ones(3))
+        opt = SGD([param], lr=0.1, momentum=0.9)
+        param.grad = np.ones(3)
+        opt.step()
+        opt.parameters[0] = Parameter(np.ones(5))
+        opt.parameters[0].grad = np.ones(5)
+        with pytest.raises(ValueError, match="changed shape"):
+            opt.step()
+
+
+class TestNoGradSkip:
+    """Parameters without gradients are skipped, not fed allocated zeros."""
+
+    def test_no_grad_no_decay_leaves_param_and_state_untouched(self):
+        data = np.random.default_rng(1).normal(size=(3, 3))
+        param = Parameter(data.copy())
+        opt = Adam([param], lr=0.5)
+        for _ in range(4):
+            opt.step()
+        assert param.data.tobytes() == data.tobytes()
+        assert opt._m[0] is None and opt._v[0] is None
+        assert opt.state_bytes() == 0
+        assert opt.scratch_bytes() == 0  # never even allocated scratch
+
+    def test_no_grad_with_decay_matches_reference_bitwise(self):
+        from repro.training.reference import ReferenceAdam
+
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(4, 2))
+        fast = Parameter(data.copy())
+        ref = Parameter(data.copy())
+        fast_opt = Adam([fast], lr=0.1, weight_decay=5e-2)
+        ref_opt = ReferenceAdam([ref], lr=0.1, weight_decay=5e-2)
+        for _ in range(6):
+            fast_opt.step()
+            ref_opt.step()
+            assert fast.data.tobytes() == ref.data.tobytes()
+
+    def test_intermittent_grads_match_reference_bitwise(self):
+        from repro.training.reference import ReferenceAdam
+
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(5,))
+        fast = Parameter(data.copy())
+        ref = Parameter(data.copy())
+        fast_opt = Adam([fast], lr=0.05)
+        ref_opt = ReferenceAdam([ref], lr=0.05)
+        for step in range(12):
+            if step % 3 == 0:
+                fast.grad = None
+                ref.grad = None
+            else:
+                grad = rng.normal(size=5)
+                fast.grad = grad.copy()
+                ref.grad = grad.copy()
+            fast_opt.step()
+            ref_opt.step()
+            assert fast.data.tobytes() == ref.data.tobytes(), f"diverged at step {step}"
+
+    def test_sgd_no_grad_no_decay_skips(self):
+        data = np.arange(6.0)
+        param = Parameter(data.copy())
+        opt = SGD([param], lr=0.5, momentum=0.9)
+        opt.step()
+        assert param.data.tobytes() == data.tobytes()
+        assert opt._velocity[0] is None

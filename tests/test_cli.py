@@ -121,6 +121,30 @@ class TestTrainCommand:
         assert str(target) in out
         assert "p@5=" in out
 
+    def test_train_profile_prints_phase_breakdown(self, tmp_path, capsys):
+        target = tmp_path / "profiled.npz"
+        code = main(
+            ["train", "--model", "SMGCN", "--scale", "smoke", "--epochs", "2",
+             "--checkpoint", str(target), "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile:" in out
+        assert "forward=" in out
+        assert "gradient pool:" in out
+
+    def test_train_verbose_prints_epoch_lines(self, tmp_path, capsys):
+        target = tmp_path / "verbose.npz"
+        code = main(
+            ["train", "--model", "SMGCN", "--scale", "smoke", "--epochs", "2",
+             "--checkpoint", str(target), "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[Trainer] epoch 1/2" in out
+        assert "[Trainer] epoch 2/2" in out
+        assert "pool_hits=" in out
+
     def test_train_unknown_model(self, tmp_path, capsys):
         code = main(["train", "--model", "DeepHerb", "--checkpoint", str(tmp_path / "x.npz")])
         assert code == 2

@@ -1,0 +1,139 @@
+"""Tests for the training profiler and history serialization."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.training import EpochProfile, TrainProfiler, Trainer, TrainerConfig, TrainingHistory
+from repro.training.profiler import PHASES
+
+
+class TestTrainProfiler:
+    def test_phases_accumulate(self):
+        profiler = TrainProfiler()
+        profiler.start_epoch(0)
+        with profiler.phase("forward"):
+            time.sleep(0.002)
+        with profiler.phase("forward"):
+            time.sleep(0.002)
+        with profiler.phase("step"):
+            pass
+        profile = profiler.end_epoch(num_batches=2, pool_counters={"hits": 5, "misses": 1})
+        assert profile.epoch == 0
+        assert profile.num_batches == 2
+        assert profile.phase_seconds["forward"] >= 0.004
+        assert "step" in profile.phase_seconds
+        assert profile.pool_counters == {"hits": 5, "misses": 1}
+        # 'other' absorbs untimed loop overhead so phases sum to the total
+        total_phases = sum(profile.phase_seconds.values())
+        assert total_phases == pytest.approx(profile.total_seconds, abs=1e-6)
+
+    def test_disabled_profiler_is_noop(self):
+        profiler = TrainProfiler(enabled=False)
+        profiler.start_epoch(0)
+        with profiler.phase("forward"):
+            pass
+        assert profiler.end_epoch(num_batches=1) is None
+        assert profiler.profiles == []
+
+    def test_nested_epochs_collect(self):
+        profiler = TrainProfiler()
+        for epoch in range(3):
+            profiler.start_epoch(epoch)
+            with profiler.phase("backward"):
+                pass
+            profiler.end_epoch(num_batches=1)
+        assert [p.epoch for p in profiler.profiles] == [0, 1, 2]
+
+    def test_phase_outside_epoch_is_noop(self):
+        profiler = TrainProfiler()
+        with profiler.phase("forward"):
+            pass  # no start_epoch: must not raise or record
+        assert profiler.profiles == []
+
+
+class TestEpochProfile:
+    def _profile(self):
+        return EpochProfile(
+            epoch=2,
+            total_seconds=0.5,
+            phase_seconds={"forward": 0.3, "backward": 0.1, "other": 0.1},
+            num_batches=10,
+            pool_counters={"acquires": 100, "hits": 90, "misses": 10, "releases": 80},
+        )
+
+    def test_roundtrip_through_json(self):
+        profile = self._profile()
+        restored = EpochProfile.from_dict(json.loads(json.dumps(profile.to_dict())))
+        assert restored == profile
+
+    def test_batches_per_second(self):
+        assert self._profile().batches_per_second == pytest.approx(20.0)
+        empty = EpochProfile(epoch=0, total_seconds=0.0)
+        assert empty.batches_per_second == 0.0
+
+    def test_phase_fraction(self):
+        profile = self._profile()
+        assert profile.phase_fraction("forward") == pytest.approx(0.6)
+        assert profile.phase_fraction("eval") == 0.0
+
+    def test_summary_line_mentions_phases_and_pool(self):
+        line = self._profile().summary_line()
+        assert "epoch 3" in line
+        assert "forward=" in line
+        assert "pool_hits=90" in line
+
+    def test_phase_ordering_constant(self):
+        assert PHASES == ("sampling", "forward", "backward", "step", "eval", "other")
+
+
+class TestTrainingHistorySerialization:
+    def test_roundtrip_with_profiles(self):
+        history = TrainingHistory(
+            epoch_losses=[2.0, 1.5],
+            validation_metrics=[{"p@5": 0.25}],
+            epoch_profiles=[
+                EpochProfile(epoch=0, total_seconds=0.1, phase_seconds={"forward": 0.1})
+            ],
+        )
+        restored = TrainingHistory.from_dict(json.loads(json.dumps(history.to_dict())))
+        assert restored == history
+
+    def test_total_training_seconds(self):
+        history = TrainingHistory(
+            epoch_profiles=[
+                EpochProfile(epoch=0, total_seconds=0.2),
+                EpochProfile(epoch=1, total_seconds=0.3),
+            ]
+        )
+        assert history.total_training_seconds() == pytest.approx(0.5)
+        assert TrainingHistory().total_training_seconds() == 0.0
+
+    def test_trainer_records_profiles_only_when_asked(self, tiny_split):
+        from repro.models import SMGCN, SMGCNConfig
+
+        train, _ = tiny_split
+        model = SMGCN.from_dataset(
+            train,
+            SMGCNConfig(embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0),
+        )
+        config = TrainerConfig(epochs=2, batch_size=64, learning_rate=1e-3, profile=True)
+        history = Trainer(config).fit(model, train)
+        assert len(history.epoch_profiles) == 2
+        for profile in history.epoch_profiles:
+            assert profile.total_seconds > 0
+            assert profile.num_batches > 0
+            assert set(profile.pool_counters) >= {"acquires", "hits", "misses", "releases"}
+        # phases cover the loop: forward/backward/step all appear
+        phases = set(history.epoch_profiles[0].phase_seconds)
+        assert {"forward", "backward", "step"} <= phases
+
+        plain = TrainingHistory()
+        model2 = SMGCN.from_dataset(
+            train,
+            SMGCNConfig(embedding_dim=8, layer_dims=(12,), symptom_threshold=2, herb_threshold=4, seed=0),
+        )
+        plain = Trainer(TrainerConfig(epochs=1, batch_size=64, learning_rate=1e-3)).fit(model2, train)
+        assert plain.epoch_profiles == []

@@ -151,14 +151,28 @@ class _IdentityScoreModel(GraphHerbRecommender):
 
     ``scores[row, herb] = row * num_herbs + herb`` lets tests decode which
     (positive, negative) herb ids the BPR sampler gathered from the values the
-    loss receives.
+    loss receives.  ``encode``/``induce_syndrome`` realise the same scheme for
+    the pair-sliced path: syndrome row ``i`` is ``[i, 1]`` and herb ``h`` is
+    ``[num_herbs, h]``, so their inner product is ``i * num_herbs + h``.
+    (The sampler edge-case batches keep every *valid* row, so the local row
+    index the pair path scores equals the batch row index the tests decode.)
     """
 
-    def encode(self):  # pragma: no cover - protocol stub
-        raise NotImplementedError
+    def encode(self):
+        symptom_embeddings = Tensor(np.zeros((self.num_symptoms, 2)))
+        herb_embeddings = Tensor(
+            np.column_stack(
+                [
+                    np.full(self.num_herbs, float(self.num_herbs)),
+                    np.arange(self.num_herbs, dtype=np.float64),
+                ]
+            )
+        )
+        return symptom_embeddings, herb_embeddings
 
-    def induce_syndrome(self, symptom_embeddings, symptom_sets):  # pragma: no cover
-        raise NotImplementedError
+    def induce_syndrome(self, symptom_embeddings, symptom_sets):
+        n = len(symptom_sets)
+        return Tensor(np.column_stack([np.arange(n, dtype=np.float64), np.ones(n)]))
 
     def forward(self, symptom_sets):
         n = len(symptom_sets)
